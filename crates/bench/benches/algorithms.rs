@@ -1,0 +1,221 @@
+//! End-to-end algorithm benchmarks on small fixed workloads — one group
+//! per paper experiment family, wall-clock companions to the simulated
+//! numbers the table binaries report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ij_core::all_matrix::AllMatrix;
+use ij_core::all_replicate::AllReplicate;
+use ij_core::cascade::TwoWayCascade;
+use ij_core::gen_matrix::GenMatrix;
+use ij_core::hybrid::{AllSeqMatrix, Pasm};
+use ij_core::rccis::Rccis;
+use ij_core::{Algorithm, JoinInput, OutputMode};
+use ij_datagen::SynthConfig;
+use ij_interval::AllenPredicate::{Before, Overlaps};
+use ij_interval::{Interval, Relation};
+use ij_mapreduce::{ClusterConfig, Engine};
+use ij_query::{Condition, JoinQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::with_slots(16))
+}
+
+fn bench_colocation(c: &mut Criterion) {
+    // Table 1 shape at micro scale: Q1 = R1 ov R2 ov R3.
+    let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+    let rels = (0..3)
+        .map(|r| SynthConfig::table1(5_000, 100 + r).generate(format!("R{}", r + 1)))
+        .collect();
+    let input = JoinInput::bind_owned(&q, rels).unwrap();
+    let engine = engine();
+
+    let mut group = c.benchmark_group("table1_q1_5k");
+    group.sample_size(20);
+    group.bench_function("rccis", |b| {
+        let alg = Rccis {
+            partitions: 16,
+            mode: OutputMode::Count,
+            mark_options: Default::default(),
+            partition_strategy: Default::default(),
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.bench_function("all_replicate", |b| {
+        let alg = AllReplicate {
+            partitions: 16,
+            mode: OutputMode::Count,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.bench_function("cascade", |b| {
+        let alg = TwoWayCascade {
+            partitions: 16,
+            per_dim_2d: 4,
+            mode: OutputMode::Count,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.finish();
+}
+
+fn bench_sequence(c: &mut Criterion) {
+    // Figure 5 shape at micro scale: Q2 = R1 before R2 before R3.
+    let q = JoinQuery::chain(&[Before, Before]).unwrap();
+    let rels = (0..3)
+        .map(|r| SynthConfig::fig5a(300, 200 + r).generate(format!("R{}", r + 1)))
+        .collect();
+    let input = JoinInput::bind_owned(&q, rels).unwrap();
+    let engine = engine();
+
+    let mut group = c.benchmark_group("fig5_q2_300");
+    group.sample_size(15);
+    group.bench_function("all_matrix_o6", |b| {
+        let alg = AllMatrix {
+            per_dim: 6,
+            mode: OutputMode::Count,
+            prune_inconsistent: true,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.bench_function("all_replicate_64", |b| {
+        let alg = AllReplicate {
+            partitions: 64,
+            mode: OutputMode::Count,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.finish();
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    // Table 3 shape at micro scale: Q4 = R1 before R2 and R1 ov R3.
+    let q = JoinQuery::new(
+        3,
+        vec![
+            Condition::whole(0, Before, 1),
+            Condition::whole(0, Overlaps, 2),
+        ],
+    )
+    .unwrap();
+    let mk = |n: usize, seed: u64| SynthConfig {
+        n,
+        t_min: 0,
+        t_max: 200_000,
+        i_min: 1,
+        i_max: 600,
+        seed,
+        ..SynthConfig::table1(n, seed)
+    };
+    let input = JoinInput::bind_owned(
+        &q,
+        vec![
+            mk(8_000, 1).generate("R1"),
+            mk(300, 2).generate("R2"),
+            mk(500, 3).generate("R3"),
+        ],
+    )
+    .unwrap();
+    let engine = engine();
+
+    let mut group = c.benchmark_group("table3_q4");
+    group.sample_size(15);
+    group.bench_function("all_seq_matrix", |b| {
+        let alg = AllSeqMatrix {
+            per_dim: 6,
+            mode: OutputMode::Count,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.bench_function("pasm", |b| {
+        let alg = Pasm {
+            per_dim: 6,
+            mode: OutputMode::Count,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.finish();
+}
+
+fn bench_gen_matrix(c: &mut Criterion) {
+    // Table 4 shape at micro scale: Q5 with two equi-join attributes.
+    use ij_query::query::RelationMeta;
+    use ij_query::AttrRef;
+    let q = JoinQuery::with_relations(
+        vec![
+            RelationMeta {
+                name: "R1".into(),
+                attr_names: vec!["I".into(), "A".into()],
+            },
+            RelationMeta {
+                name: "R2".into(),
+                attr_names: vec!["I".into(), "B".into()],
+            },
+            RelationMeta {
+                name: "R3".into(),
+                attr_names: vec!["I".into(), "A".into(), "B".into()],
+            },
+        ],
+        vec![
+            Condition::new(AttrRef::new(0, 0), Before, AttrRef::new(1, 0)),
+            Condition::new(AttrRef::new(0, 0), Overlaps, AttrRef::new(2, 0)),
+            Condition::new(
+                AttrRef::new(0, 1),
+                ij_interval::AllenPredicate::Equals,
+                AttrRef::new(2, 1),
+            ),
+            Condition::new(
+                AttrRef::new(1, 1),
+                ij_interval::AllenPredicate::Equals,
+                AttrRef::new(2, 2),
+            ),
+        ],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let iv = |rng: &mut StdRng| {
+        let s = rng.gen_range(0..99_000i64);
+        Interval::new(s, s + rng.gen_range(1..1000)).unwrap()
+    };
+    let r1 = Relation::from_rows(
+        "R1",
+        (0..2000).map(|_| vec![iv(&mut rng), Interval::point(rng.gen_range(0..100))]),
+    );
+    let r2 = Relation::from_rows(
+        "R2",
+        (0..200).map(|_| vec![iv(&mut rng), Interval::point(rng.gen_range(0..100))]),
+    );
+    let r3 = Relation::from_rows(
+        "R3",
+        (0..2000).map(|_| {
+            vec![
+                iv(&mut rng),
+                Interval::point(rng.gen_range(0..100)),
+                Interval::point(rng.gen_range(0..100)),
+            ]
+        }),
+    );
+    let input = JoinInput::bind_owned(&q, vec![r1, r2, r3]).unwrap();
+    let engine = engine();
+
+    let mut group = c.benchmark_group("table4_q5");
+    group.sample_size(15);
+    group.bench_function("gen_matrix_o5", |b| {
+        let alg = GenMatrix {
+            per_dim: 5,
+            mode: OutputMode::Count,
+        };
+        b.iter(|| alg.run(&q, &input, &engine).unwrap().count)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_colocation,
+    bench_sequence,
+    bench_hybrid,
+    bench_gen_matrix
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmarks of the RCCIS replication-marking computation (cycle 1's
+//! reducer work) — the paper's key overhead for solving colocation joins
+//! in "one go plus a marking round".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ij_core::rccis::marking::mark;
+use ij_interval::AllenPredicate::{Contains, Overlaps};
+use ij_interval::{Interval, Partitioning, TupleId};
+use ij_query::JoinQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn partition_input(
+    m: usize,
+    n_per_rel: usize,
+    part: &Partitioning,
+    p: usize,
+    seed: u64,
+) -> Vec<Vec<(Interval, TupleId)>> {
+    // Intervals concentrated around partition p, as a splitting reducer
+    // would receive them.
+    let window = part.partition(p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            (0..n_per_rel as u32)
+                .map(|t| {
+                    let s = rng.gen_range(window.start() - 400..window.end());
+                    let iv =
+                        Interval::new(s.max(0), (s.max(0) + rng.gen_range(0..300)).min(99_999))
+                            .unwrap();
+                    (iv, t)
+                })
+                .filter(|(iv, _)| part.intersects_partition(*iv, p))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_marking(c: &mut Criterion) {
+    let part = Partitioning::equi_width(0, 100_000, 16).unwrap();
+    let mut group = c.benchmark_group("rccis_marking");
+
+    for &n in &[200usize, 1000] {
+        let q2 = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+        let input = partition_input(3, n, &part, 7, 11);
+        group.bench_with_input(BenchmarkId::new("q1_chain", n), &n, |b, _| {
+            b.iter(|| mark(&q2, &part, 7, input.clone()).work)
+        });
+    }
+
+    let q0 = JoinQuery::chain(&[Overlaps, Contains, Overlaps]).unwrap();
+    let input = partition_input(4, 300, &part, 7, 12);
+    group.bench_function("q0_4way_300", |b| {
+        b.iter(|| mark(&q0, &part, 7, input.clone()).work)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_marking);
+criterion_main!(benches);

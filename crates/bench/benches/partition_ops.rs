@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the partitioning lookups and the
+//! project/split/replicate map operations (the map-side hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ij_interval::{ops, Interval, Partitioning};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_partition(c: &mut Criterion) {
+    let part16 = Partitioning::equi_width(0, 100_000, 16).unwrap();
+    let part256 = Partitioning::equi_width(0, 100_000, 256).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let ivs: Vec<Interval> = (0..4096)
+        .map(|_| {
+            let s = rng.gen_range(0..99_000);
+            Interval::new(s, s + rng.gen_range(0..1000)).unwrap()
+        })
+        .collect();
+
+    c.bench_function("partition/index_of_4k_k16", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for iv in &ivs {
+                acc += part16.index_of(black_box(iv.start()));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("partition/index_of_4k_k256", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for iv in &ivs {
+                acc += part256.index_of(black_box(iv.start()));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("ops/split_4k_k16", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &iv in &ivs {
+                acc += ops::split(black_box(iv), &part16).len();
+            }
+            acc
+        })
+    });
+
+    c.bench_function("ops/replicate_4k_k16", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &iv in &ivs {
+                acc += ops::replicate(black_box(iv), &part16).len();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of Allen's algebra primitives — the innermost loops of
+//! every reducer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ij_interval::{AllenPredicate, Interval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn intervals(n: usize, seed: u64) -> Vec<Interval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0..10_000);
+            Interval::new(s, s + rng.gen_range(0..200)).unwrap()
+        })
+        .collect()
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let a = intervals(1024, 1);
+    let b = intervals(1024, 2);
+
+    c.bench_function("allen/relate_1k_pairs", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc += AllenPredicate::relate(black_box(x), black_box(y)) as usize;
+            }
+            acc
+        })
+    });
+
+    c.bench_function("allen/holds_overlaps_1k_pairs", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc += AllenPredicate::Overlaps.holds(black_box(x), black_box(y)) as usize;
+            }
+            acc
+        })
+    });
+
+    c.bench_function("allen/all_13_holds_1k_pairs", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for (&x, &y) in a.iter().zip(&b) {
+                for p in AllenPredicate::ALL {
+                    acc += p.holds(black_box(x), black_box(y)) as usize;
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("allen/right_start_bounds_1k", |bch| {
+        bch.iter(|| {
+            let mut acc = 0i64;
+            for &x in &a {
+                if let (std::ops::Bound::Excluded(lo), _) =
+                    AllenPredicate::Overlaps.right_start_bounds(black_box(x))
+                {
+                    acc += lo;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_predicates);
+criterion_main!(benches);

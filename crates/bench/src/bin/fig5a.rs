@@ -1,0 +1,114 @@
+//! Figure 5(a) — sequence join Q2 = `R1 before R2 and R2 before R3` on
+//! synthetic data, varying relation size (Section 7.1).
+//!
+//! Paper setting: temporal range 0–1000, max interval length 100, uniform
+//! dS/dI. All-Matrix uses o=6 (56 consistent cells of 216; paper says 55),
+//! the 2-way cascade runs its sequence stages as 2-D All-Matrix with o=11,
+//! All-Rep uses 64 reducers — chosen so all three use a similar number of
+//! consistent reducers, as in the paper.
+//!
+//! Run: `cargo run --release -p ij-bench --bin fig5a [--scale f]`.
+//! The paper does not print its x-axis sizes; we sweep 2K–10K intervals per
+//! relation at scale 1.0.
+
+use ij_bench::report::{fmt_sim, Report};
+use ij_bench::scale::BenchArgs;
+use ij_bench::scenarios::{assert_same_output, engine, measure};
+use ij_core::all_matrix::AllMatrix;
+use ij_core::all_replicate::AllReplicate;
+use ij_core::cascade::TwoWayCascade;
+use ij_core::{JoinInput, OutputMode};
+use ij_datagen::SynthConfig;
+use ij_interval::AllenPredicate::Before;
+use ij_query::JoinQuery;
+
+fn main() {
+    let args = BenchArgs::parse(
+        0.1,
+        "fig5a: Q2 = R1 before R2 before R3 on synthetic data, varying size",
+    );
+    let engine = engine(args.slots);
+    let q = JoinQuery::chain(&[Before, Before]).unwrap();
+    let base_sizes: [u64; 5] = [2_000, 4_000, 6_000, 8_000, 10_000];
+
+    let mut report = Report::new(
+        "fig5a",
+        "Sequence join Q2 on synthetic data — All-Matrix vs All-Rep vs 2-way Cd",
+        &[
+            "nI",
+            "sim All-Matrix",
+            "sim All-Rep",
+            "sim 2wCd",
+            "skew All-Matrix",
+            "skew All-Rep",
+            "cells",
+            "output",
+        ],
+    );
+    report.note(format!(
+        "range=(0,1000) i_max=100 dS,dI=Uniform; All-Matrix o=6, 2wCd 2-D o=11, All-Rep 64 reducers; scale={}",
+        args.scale
+    ));
+
+    for (i, &base_n) in base_sizes.iter().enumerate() {
+        let n = args.scale.apply(base_n);
+        let rels = (0..3)
+            .map(|r| {
+                SynthConfig::fig5a(n, args.seed + (i * 3 + r) as u64)
+                    .generate(format!("R{}", r + 1))
+            })
+            .collect();
+        let input = JoinInput::bind_owned(&q, rels).unwrap();
+
+        let am = measure(
+            &AllMatrix {
+                per_dim: 6,
+                mode: OutputMode::Count,
+                prune_inconsistent: true,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let ar = measure(
+            &AllReplicate {
+                partitions: 64,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let cd = measure(
+            &TwoWayCascade {
+                partitions: 16,
+                per_dim_2d: 11,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        assert_same_output(&[am.clone(), ar.clone(), cd.clone()]);
+
+        let cells = am
+            .consistent_cells
+            .map(|(c, t)| format!("{c}/{t}"))
+            .unwrap_or_default();
+        report.row(vec![
+            (n as u64).into(),
+            fmt_sim(am.simulated).into(),
+            fmt_sim(ar.simulated).into(),
+            fmt_sim(cd.simulated).into(),
+            am.skew.into(),
+            ar.skew.into(),
+            cells.into(),
+            am.output.into(),
+        ]);
+        eprintln!(
+            "  nI={n}: wall AM {:.2}s, AR {:.2}s, Cd {:.2}s",
+            am.wall_secs, ar.wall_secs, cd.wall_secs
+        );
+    }
+    report.finish(args.json.as_deref());
+}

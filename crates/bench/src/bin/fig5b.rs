@@ -1,0 +1,109 @@
+//! Figure 5(b) — sequence join Q2 on packet-train data from trace P04,
+//! sampling trains in steps of 3K (Section 7.1).
+//!
+//! Same algorithms and partitionings as Figure 5(a); the data is the
+//! simulated P04 trace (18K trains over 15 minutes at scale 1.0).
+//!
+//! Run: `cargo run --release -p ij-bench --bin fig5b [--scale f]`.
+
+use ij_bench::report::{fmt_sim, Report};
+use ij_bench::scale::BenchArgs;
+use ij_bench::scenarios::{assert_same_output, engine, measure};
+use ij_core::all_matrix::AllMatrix;
+use ij_core::all_replicate::AllReplicate;
+use ij_core::cascade::TwoWayCascade;
+use ij_core::{JoinInput, OutputMode};
+use ij_datagen::profiles::TraceProfile;
+use ij_datagen::trains::trains_relation;
+use ij_interval::AllenPredicate::Before;
+use ij_query::JoinQuery;
+use std::sync::Arc;
+
+fn main() {
+    let args = BenchArgs::parse(
+        0.05,
+        "fig5b: Q2 = R1 before R2 before R3 on trace P04 trains, sampled in steps of 3K",
+    );
+    let engine = engine(args.slots);
+    let q = JoinQuery::chain(&[Before, Before]).unwrap();
+
+    // Generate the full (scaled) P04 trace once; sample prefixes in the
+    // paper's 3K steps (scaled).
+    let p04 = TraceProfile::by_name("P04").expect("profile exists");
+    let all_trains = p04.generate_trains(args.scale.0, args.seed);
+    let step = args.scale.apply(3_000);
+
+    let mut report = Report::new(
+        "fig5b",
+        "Sequence join Q2 on trace P04 — All-Matrix vs All-Rep vs 2-way Cd",
+        &[
+            "trains",
+            "sim All-Matrix",
+            "sim All-Rep",
+            "sim 2wCd",
+            "skew All-Matrix",
+            "skew All-Rep",
+            "output",
+        ],
+    );
+    report.note(format!(
+        "trace P04 (simulated), 500ms cutoff, steps of {step}, slots={}, scale={}",
+        args.slots, args.scale
+    ));
+
+    for k in 1..=6usize {
+        let n = (k * step).min(all_trains.len());
+        let sample = &all_trains[..n];
+        let rel = Arc::new(trains_relation("P04", sample));
+        let input = JoinInput::bind_self_join(&q, rel).unwrap();
+
+        let am = measure(
+            &AllMatrix {
+                per_dim: 6,
+                mode: OutputMode::Count,
+                prune_inconsistent: true,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let ar = measure(
+            &AllReplicate {
+                partitions: 64,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let cd = measure(
+            &TwoWayCascade {
+                partitions: 16,
+                per_dim_2d: 11,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        assert_same_output(&[am.clone(), ar.clone(), cd.clone()]);
+
+        report.row(vec![
+            (n as u64).into(),
+            fmt_sim(am.simulated).into(),
+            fmt_sim(ar.simulated).into(),
+            fmt_sim(cd.simulated).into(),
+            am.skew.into(),
+            ar.skew.into(),
+            am.output.into(),
+        ]);
+        eprintln!(
+            "  n={n}: wall AM {:.2}s, AR {:.2}s, Cd {:.2}s",
+            am.wall_secs, ar.wall_secs, cd.wall_secs
+        );
+        if n == all_trains.len() {
+            break;
+        }
+    }
+    report.finish(args.json.as_deref());
+}

@@ -1,0 +1,112 @@
+//! Table 1 — varying data size on the colocation query
+//! Q1 = `R1 overlaps R2 and R2 overlaps R3` (Section 6.2).
+//!
+//! Paper setting: dS, dI uniform; range (0, 100K); lengths (1, 100);
+//! nI = 0.5M, 0.75M, 1.0M, 1.25M per relation; 16 reducers. Compared:
+//! 2-way Cascade, All-Replicate and RCCIS, reporting time, the intervals
+//! replicated by RCCIS vs All-Rep and the total key-value pairs.
+//!
+//! Run: `cargo run --release -p ij-bench --bin table1 [--scale f]`.
+
+use ij_bench::report::{fmt_sim, Report};
+use ij_bench::scale::BenchArgs;
+use ij_bench::scenarios::{assert_same_output, engine, measure};
+use ij_core::all_replicate::AllReplicate;
+use ij_core::cascade::TwoWayCascade;
+use ij_core::rccis::Rccis;
+use ij_core::{JoinInput, OutputMode};
+use ij_datagen::SynthConfig;
+use ij_interval::AllenPredicate::Overlaps;
+use ij_query::JoinQuery;
+
+fn main() {
+    let args = BenchArgs::parse(
+        0.05,
+        "table1: Q1 = R1 ov R2 ov R3, varying nI (paper: 0.5M..1.25M)",
+    );
+    let engine = engine(args.slots);
+    let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+    let paper_sizes: [u64; 4] = [500_000, 750_000, 1_000_000, 1_250_000];
+
+    let mut report = Report::new(
+        "table1",
+        "Varying data size — Q1 = R1 ov R2 and R2 ov R3",
+        &[
+            "nI",
+            "sim 2wCd",
+            "sim AllRep",
+            "sim RCCIS",
+            "repl RCCIS",
+            "repl AllRep",
+            "pairs 2wCd",
+            "pairs AllRep",
+            "pairs RCCIS",
+            "output",
+        ],
+    );
+    report.note(format!(
+        "dS,dI=Uniform (t_min,t_max)=(0,100K) (i_min,i_max)=(1,100) slots={} scale={} (paper sizes x scale)",
+        args.slots, args.scale
+    ));
+
+    for (i, &paper_n) in paper_sizes.iter().enumerate() {
+        let n = args.scale.apply(paper_n);
+        let rels = (0..3)
+            .map(|r| {
+                SynthConfig::table1(n, args.seed + (i * 3 + r) as u64)
+                    .generate(format!("R{}", r + 1))
+            })
+            .collect();
+        let input = JoinInput::bind_owned(&q, rels).unwrap();
+
+        let cd = measure(
+            &TwoWayCascade {
+                partitions: 16,
+                per_dim_2d: 4,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let ar = measure(
+            &AllReplicate {
+                partitions: 16,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let rc = measure(
+            &Rccis {
+                partitions: 16,
+                mode: OutputMode::Count,
+                mark_options: Default::default(),
+                partition_strategy: Default::default(),
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        assert_same_output(&[cd.clone(), ar.clone(), rc.clone()]);
+
+        report.row(vec![
+            (n as u64).into(),
+            fmt_sim(cd.simulated).into(),
+            fmt_sim(ar.simulated).into(),
+            fmt_sim(rc.simulated).into(),
+            rc.replicated.unwrap_or(0).into(),
+            ar.replicated.unwrap_or(0).into(),
+            cd.pairs.into(),
+            ar.pairs.into(),
+            rc.pairs.into(),
+            rc.output.into(),
+        ]);
+        eprintln!(
+            "  nI={n}: wall 2wCd {:.2}s, AllRep {:.2}s, RCCIS {:.2}s",
+            cd.wall_secs, ar.wall_secs, rc.wall_secs
+        );
+    }
+    report.finish(args.json.as_deref());
+}

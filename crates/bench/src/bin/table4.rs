@@ -1,0 +1,124 @@
+//! Table 4 — Gen-Matrix on the multi-attribute query Q5, varying the
+//! relation sizes (Section 9.1).
+//!
+//! Q5 = `R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and
+//! R2.B = R3.B`; dI, dS, dA, dB uniform; range (0, 100K); interval lengths
+//! (1, 1000); o = 5 per dimension, so 375 of 625 reducers are consistent
+//! (the single less-than order is C1 <= C2). Sizes step from
+//! (100K, 10K, 100K) to (140K, 14K, 140K).
+//!
+//! Run: `cargo run --release -p ij-bench --bin table4 [--scale f]`.
+
+use ij_bench::report::{fmt_sim, Report};
+use ij_bench::scale::BenchArgs;
+use ij_bench::scenarios::{engine, measure};
+use ij_core::gen_matrix::GenMatrix;
+use ij_core::{JoinInput, OutputMode};
+use ij_interval::AllenPredicate::{Before, Equals, Overlaps};
+use ij_interval::{Interval, Relation};
+use ij_query::query::RelationMeta;
+use ij_query::{AttrRef, Condition, JoinQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn q5() -> JoinQuery {
+    JoinQuery::with_relations(
+        vec![
+            RelationMeta {
+                name: "R1".into(),
+                attr_names: vec!["I".into(), "A".into()],
+            },
+            RelationMeta {
+                name: "R2".into(),
+                attr_names: vec!["I".into(), "B".into()],
+            },
+            RelationMeta {
+                name: "R3".into(),
+                attr_names: vec!["I".into(), "A".into(), "B".into()],
+            },
+        ],
+        vec![
+            Condition::new(AttrRef::new(0, 0), Before, AttrRef::new(1, 0)),
+            Condition::new(AttrRef::new(0, 0), Overlaps, AttrRef::new(2, 0)),
+            Condition::new(AttrRef::new(0, 1), Equals, AttrRef::new(2, 1)),
+            Condition::new(AttrRef::new(1, 1), Equals, AttrRef::new(2, 2)),
+        ],
+    )
+    .unwrap()
+}
+
+/// Uniform interval over (0, 100K) with lengths (1, 1000), per the paper.
+fn iv(rng: &mut StdRng) -> Interval {
+    let len = rng.gen_range(1..=1000i64);
+    let s = rng.gen_range(0..=100_000 - len);
+    Interval::new_unchecked(s, s + len)
+}
+
+/// Uniform real attribute; the paper does not state the domain — 100
+/// distinct values keeps the two equi-joins selective but non-degenerate.
+fn real(rng: &mut StdRng) -> Interval {
+    Interval::point(rng.gen_range(0..100))
+}
+
+fn main() {
+    let args = BenchArgs::parse(
+        0.02,
+        "table4: Gen-Matrix on Q5, sizes (100K,10K,100K)..(140K,14K,140K)",
+    );
+    let engine = engine(args.slots);
+    let q = q5();
+
+    let mut report = Report::new(
+        "table4",
+        "Gen-Matrix on Q5 (multi-attribute)",
+        &[
+            "nI's",
+            "sim Gen-Matrix",
+            "pairs",
+            "cells",
+            "replicated",
+            "output",
+        ],
+    );
+    report.note(format!(
+        "dI,dS,dA,dB=Uniform range=(0,100K) i_max=1000 o=5 slots={} scale={}",
+        args.slots, args.scale
+    ));
+
+    for (i, base) in [100u64, 110, 120, 130, 140].into_iter().enumerate() {
+        let n13 = args.scale.apply(base * 1000);
+        let n2 = args.scale.apply(base * 100);
+        let mut rng = StdRng::seed_from_u64(args.seed + i as u64);
+        let r1 = Relation::from_rows("R1", (0..n13).map(|_| vec![iv(&mut rng), real(&mut rng)]));
+        let r2 = Relation::from_rows("R2", (0..n2).map(|_| vec![iv(&mut rng), real(&mut rng)]));
+        let r3 = Relation::from_rows(
+            "R3",
+            (0..n13).map(|_| vec![iv(&mut rng), real(&mut rng), real(&mut rng)]),
+        );
+        let input = JoinInput::bind_owned(&q, vec![r1, r2, r3]).unwrap();
+
+        let gm = measure(
+            &GenMatrix {
+                per_dim: 5,
+                mode: OutputMode::Count,
+            },
+            &q,
+            &input,
+            &engine,
+        );
+        let cells = gm
+            .consistent_cells
+            .map(|(c, t)| format!("{c}/{t}"))
+            .unwrap_or_default();
+        report.row(vec![
+            format!("{n13}, {n2}, {n13}").into(),
+            fmt_sim(gm.simulated).into(),
+            gm.pairs.into(),
+            cells.into(),
+            gm.replicated.unwrap_or(0).into(),
+            gm.output.into(),
+        ]);
+        eprintln!("  sizes ({n13},{n2},{n13}): wall {:.2}s", gm.wall_secs);
+    }
+    report.finish(args.json.as_deref());
+}

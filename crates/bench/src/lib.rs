@@ -1,0 +1,9 @@
+//! Benchmark harness shared code: result tables, JSON reports and the
+//! scenario definitions used by the per-table/figure binaries.
+
+pub mod report;
+pub mod scale;
+pub mod scenarios;
+
+pub use report::{Report, Row};
+pub use scale::Scale;

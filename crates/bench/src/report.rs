@@ -1,0 +1,247 @@
+//! Result tables: aligned console output plus machine-readable JSON (used
+//! to regenerate EXPERIMENTS.md).
+
+use serde::Serialize;
+use std::io::Write;
+
+/// One measured cell value.
+#[derive(Debug, Clone, Serialize)]
+#[serde(untagged)]
+pub enum Cell {
+    /// A plain string (e.g. a trace name).
+    Text(String),
+    /// An integer count.
+    Int(u64),
+    /// A float (times, skews, fractions).
+    Float(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as u64)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => group_thousands(*v),
+            Cell::Float(v) => {
+                if v.abs() >= 1000.0 {
+                    group_thousands(v.round() as u64)
+                } else {
+                    format!("{v:.2}")
+                }
+            }
+        }
+    }
+}
+
+fn group_thousands(mut v: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        parts.push((v % 1000, ()));
+        v /= 1000;
+        if v == 0 {
+            break;
+        }
+    }
+    parts
+        .iter()
+        .rev()
+        .enumerate()
+        .map(|(i, (p, _))| {
+            if i == 0 {
+                format!("{p}")
+            } else {
+                format!("{p:03}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Cell values, parallel to the report's columns.
+    pub cells: Vec<Cell>,
+}
+
+/// A named result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. `"table1"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form notes (workload parameters, scale).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            notes: Vec::new(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a workload note (printed above the table).
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Adds one row; must match the column count.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(Row { cells });
+    }
+
+    /// Renders the aligned console table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for n in &self.notes {
+            out.push_str(&format!("   {n}\n"));
+        }
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.cells.iter().map(Cell::render).collect())
+            .collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for r in &rendered {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        out.push_str(&format!("   {}\n", header.join("  ")));
+        out.push_str(&format!(
+            "   {}\n",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        ));
+        for r in &rendered {
+            let line: Vec<String> = r
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            out.push_str(&format!("   {}\n", line.join("  ")));
+        }
+        out
+    }
+
+    /// Prints the table to stdout and optionally writes JSON.
+    pub fn finish(&self, json_path: Option<&str>) {
+        println!("{}", self.render());
+        if let Some(path) = json_path {
+            let file =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            let mut w = std::io::BufWriter::new(file);
+            serde_json::to_writer_pretty(&mut w, self).expect("serialize report");
+            w.flush().expect("flush report");
+            eprintln!("(wrote {path})");
+        }
+    }
+}
+
+/// Formats a simulated-time value in engine cost units compactly.
+pub fn fmt_sim(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("t", "demo", &["name", "count"]);
+        r.note("note1");
+        r.row(vec!["a".into(), 5u64.into()]);
+        r.row(vec!["bbbb".into(), 123_456u64.into()]);
+        let s = r.render();
+        assert!(s.contains("note1"));
+        assert!(s.contains("123,456"));
+        assert!(s.contains("name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let mut r = Report::new("t", "demo", &["a", "b"]);
+        r.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn sim_formatting() {
+        assert_eq!(fmt_sim(12.0), "12");
+        assert_eq!(fmt_sim(1234.0), "1.2K");
+        assert_eq!(fmt_sim(2_500_000.0), "2.50M");
+        assert_eq!(fmt_sim(3.2e9), "3.20G");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::new("t", "demo", &["a"]);
+        r.row(vec![1u64.into()]);
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(js.contains("\"id\": \"t\"") || js.contains("\"id\":\"t\""));
+    }
+}

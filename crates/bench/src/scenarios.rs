@@ -1,0 +1,108 @@
+//! Shared measurement plumbing for the per-table/figure binaries.
+
+use ij_core::{Algorithm, JoinInput, JoinOutput};
+use ij_mapreduce::{ClusterConfig, Engine};
+use ij_query::JoinQuery;
+use std::time::Instant;
+
+/// One algorithm measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Simulated cluster time (cost units), summed across cycles.
+    pub simulated: f64,
+    /// Real wall-clock seconds of the in-process run.
+    pub wall_secs: f64,
+    /// Total intermediate key-value pairs across cycles.
+    pub pairs: u64,
+    /// Output tuple count.
+    pub output: u64,
+    /// Intervals replicated (if the algorithm reports it).
+    pub replicated: Option<u64>,
+    /// Worst per-cycle load skew.
+    pub skew: f64,
+    /// Consistent cells used / total, when the algorithm is matrix-based.
+    pub consistent_cells: Option<(u64, u64)>,
+    /// The raw output (for cross-checking between algorithms).
+    pub out: JoinOutput,
+}
+
+/// Builds the simulated cluster (the paper runs 16 reduce processes).
+pub fn engine(slots: usize) -> Engine {
+    Engine::new(ClusterConfig::with_slots(slots))
+}
+
+/// Runs one algorithm and collects the table-relevant numbers.
+///
+/// # Panics
+/// Panics if the algorithm rejects the query — bench scenarios only pair
+/// algorithms with the query classes they support.
+pub fn measure(
+    alg: &dyn Algorithm,
+    q: &JoinQuery,
+    input: &JoinInput,
+    engine: &Engine,
+) -> Measurement {
+    let start = Instant::now();
+    let out = alg
+        .run(q, input, engine)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+    let wall_secs = start.elapsed().as_secs_f64();
+    Measurement {
+        algorithm: alg.name(),
+        simulated: out.chain.total_simulated(),
+        wall_secs,
+        pairs: out.chain.total_pairs(),
+        output: out.count,
+        replicated: out.stats.replicated_intervals,
+        skew: out.chain.worst_skew(),
+        consistent_cells: out.stats.consistent_cells,
+        out,
+    }
+}
+
+/// Asserts that all measurements produced the same output count — the
+/// harness's built-in cross-check that the compared algorithms computed the
+/// same join.
+pub fn assert_same_output(ms: &[Measurement]) {
+    if let Some(first) = ms.first() {
+        for m in &ms[1..] {
+            assert_eq!(
+                m.output, first.output,
+                "{} and {} disagree on the join size",
+                m.algorithm, first.algorithm
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_core::two_way::TwoWayJoin;
+    use ij_core::OutputMode;
+    use ij_interval::{AllenPredicate::Overlaps, Interval, Relation};
+
+    #[test]
+    fn measure_runs_and_counts() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                Relation::from_intervals("A", vec![Interval::new(0, 10).unwrap()]),
+                Relation::from_intervals("B", vec![Interval::new(5, 15).unwrap()]),
+            ],
+        )
+        .unwrap();
+        let e = engine(4);
+        let alg = TwoWayJoin {
+            partitions: 4,
+            mode: OutputMode::Count,
+        };
+        let m = measure(&alg, &q, &input, &e);
+        assert_eq!(m.output, 1);
+        assert!(m.simulated > 0.0);
+        assert_same_output(&[m.clone(), m]);
+    }
+}

@@ -1,0 +1,8 @@
+//! All-Matrix (paper Section 7.1) — sequence joins in a multi-dimensional
+//! reducer matrix.
+
+pub mod algo;
+pub mod cells;
+
+pub use algo::AllMatrix;
+pub use cells::CellSpace;

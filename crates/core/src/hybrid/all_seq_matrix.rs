@@ -1,0 +1,283 @@
+//! All-Seq-Matrix (paper Section 8.1).
+//!
+//! Two MR cycles:
+//!
+//! 1. RCCIS replication marking per colocation component
+//!    (`run_component_marking` in the hybrid module);
+//! 2. a component-dimensional matrix join: an interval of component `k`
+//!    starting in partition `q` goes to all consistent cells with
+//!    `coord_k >= q` if flagged, `coord_k == q` otherwise (conditions E1
+//!    and E2); each reducer joins what it received and emits the tuples it
+//!    owns (per-component right-most start partitions match its cell).
+
+use crate::algorithm::{
+    empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
+};
+use crate::all_matrix::CellSpace;
+use crate::executor::{join_single_attr, Candidates};
+use crate::hybrid::{owns_assignment, run_component_marking};
+use crate::input::JoinInput;
+use crate::output::{JoinOutput, OutputMode};
+use crate::records::{FlagRec, IvRec, OutRec};
+use ij_interval::{Interval, TupleId};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_query::{AttrRef, JoinQuery};
+
+/// The All-Seq-Matrix algorithm.
+#[derive(Debug, Clone)]
+pub struct AllSeqMatrix {
+    /// Partitions per matrix dimension (`o`).
+    pub per_dim: usize,
+    /// Materialize or count.
+    pub mode: OutputMode,
+}
+
+impl AllSeqMatrix {
+    /// All-Seq-Matrix with `o = per_dim`, materializing output.
+    pub fn new(per_dim: usize) -> Self {
+        AllSeqMatrix {
+            per_dim,
+            mode: OutputMode::Materialize,
+        }
+    }
+}
+
+impl Algorithm for AllSeqMatrix {
+    fn name(&self) -> &'static str {
+        "All-Seq-Matrix"
+    }
+
+    fn run(
+        &self,
+        query: &JoinQuery,
+        input: &JoinInput,
+        engine: &Engine,
+    ) -> Result<JoinOutput, AlgoError> {
+        require_single_attr(self.name(), query)?;
+        let order = query.start_order();
+        if order.contradictory() {
+            return Ok(empty_output(self.mode));
+        }
+        let comps = query.components();
+        let l = comps.len();
+        let part = RunArtifacts::partition_span(input.span(), self.per_dim)?;
+        let space = CellSpace::new(l, self.per_dim, order.component_constraints(&comps))?;
+        let mut chain = JobChain::new();
+
+        // ---- Cycle 1: per-component replication marking -------------------
+        let flags =
+            run_component_marking(query, &comps, &part, &iv_records(input), engine, &mut chain);
+        let replicated = flags.iter().filter(|f| f.replicate).count() as u64;
+
+        // ---- Cycle 2: matrix join ------------------------------------------
+        let comp_of: Vec<usize> = (0..query.num_relations())
+            .map(|r| comps.component_of(AttrRef::whole(r)).expect("component"))
+            .collect();
+        let m = query.num_relations() as usize;
+        let mode = self.mode;
+        let q = query.clone();
+        let partc = part.clone();
+        let spacec = space.clone();
+        let compsc = comps.clone();
+        let out = engine.run_job(
+            "asm-join",
+            &flags,
+            {
+                let partc = partc.clone();
+                let spacec = spacec.clone();
+                move |rec: &FlagRec, em: &mut Emitter<IvRec>| {
+                    let k = comp_of[rec.rec.rel.idx()];
+                    let qidx = partc.index_of(rec.rec.iv.start());
+                    let cells = if rec.replicate {
+                        spacec.cells_ge(k, qidx)
+                    } else {
+                        spacec.cells_eq(k, qidx)
+                    };
+                    em.emit_to_all(cells.iter().copied(), &rec.rec);
+                }
+            },
+            move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+                let coords = spacec.decode(ctx.key);
+                let mut cands = Candidates::new(m);
+                for v in values.drain(..) {
+                    cands.push(v.rel.idx(), v.iv, v.tid);
+                }
+                cands.finish();
+                let mut count = 0u64;
+                let work = join_single_attr(
+                    &q,
+                    &cands,
+                    |a: &[(Interval, TupleId)]| {
+                        owns_assignment(&compsc, &partc, &coords, |r| a[r].0)
+                    },
+                    |a| {
+                        count += 1;
+                        if mode == OutputMode::Materialize {
+                            out.push(OutRec::Tuple(a.iter().map(|(_, t)| *t).collect()));
+                        }
+                    },
+                );
+                ctx.add_work(work);
+                if mode == OutputMode::Count && count > 0 {
+                    out.push(OutRec::Count(count));
+                }
+            },
+        );
+        chain.push(out.metrics);
+
+        let mut result = JoinOutput::from_records(self.mode, out.outputs, chain);
+        result.stats.replicated_intervals = Some(replicated);
+        result.stats.consistent_cells =
+            Some((space.consistent_cells().len() as u64, space.total_cells()));
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_join;
+    use ij_interval::AllenPredicate::{self, *};
+    use ij_interval::Relation;
+    use ij_mapreduce::ClusterConfig;
+    use ij_query::Condition;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rel(rng: &mut StdRng, n: usize, span: i64, max_len: i64) -> Relation {
+        Relation::from_intervals(
+            "R",
+            (0..n).map(|_| {
+                let s = rng.gen_range(0..span);
+                let e = s + rng.gen_range(0..=max_len);
+                Interval::new(s, e).unwrap()
+            }),
+        )
+    }
+
+    fn engine() -> Engine {
+        Engine::new(ClusterConfig::with_slots(4))
+    }
+
+    fn check_q(q: &JoinQuery, seed: u64, n: usize, o: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rels = (0..q.num_relations())
+            .map(|_| random_rel(&mut rng, n, 300, 50))
+            .collect();
+        let input = JoinInput::bind_owned(q, rels).unwrap();
+        let got = AllSeqMatrix::new(o)
+            .run(q, &input, &engine())
+            .unwrap()
+            .assert_no_duplicates();
+        assert_eq!(got, oracle_join(q, &input), "query {q}");
+    }
+
+    fn check(preds: &[AllenPredicate], seed: u64, n: usize, o: usize) {
+        check_q(&JoinQuery::chain(preds).unwrap(), seed, n, o);
+    }
+
+    #[test]
+    fn hybrid_chains_match_oracle() {
+        check(&[Overlaps, Before], 1, 50, 5);
+        check(&[Before, Overlaps], 2, 50, 5);
+        check(&[Overlaps, Before, Overlaps], 3, 30, 4);
+    }
+
+    #[test]
+    fn q3_shape_matches_oracle() {
+        // Q3: R1 ov R2, R2 ov R3, R2 before R4, R4 ov R5.
+        let q = JoinQuery::new(
+            5,
+            vec![
+                Condition::whole(0, Overlaps, 1),
+                Condition::whole(1, Overlaps, 2),
+                Condition::whole(1, Before, 3),
+                Condition::whole(3, Overlaps, 4),
+            ],
+        )
+        .unwrap();
+        check_q(&q, 4, 25, 4);
+    }
+
+    #[test]
+    fn q4_shape_matches_oracle() {
+        // Q4: R1 before R2 and R1 overlaps R3 (Table 3's query).
+        let q = JoinQuery::new(
+            3,
+            vec![
+                Condition::whole(0, Before, 1),
+                Condition::whole(0, Overlaps, 2),
+            ],
+        )
+        .unwrap();
+        check_q(&q, 5, 60, 6);
+    }
+
+    #[test]
+    fn pure_sequence_degenerates_to_all_matrix() {
+        check(&[Before, Before], 6, 40, 5);
+    }
+
+    #[test]
+    fn pure_colocation_works_too() {
+        // One component: cycle 2 is a 1-D matrix — effectively RCCIS.
+        check(&[Overlaps, Contains], 7, 40, 6);
+    }
+
+    #[test]
+    fn unsound_component_order_case_still_correct() {
+        // R1 ov R2, R2 ov R3, R1 before R4 — the case where the paper's
+        // direct component-order rule would lose tuples (DESIGN.md §5). Our
+        // sound inference emits no constraint, so the run stays correct.
+        let q = JoinQuery::new(
+            4,
+            vec![
+                Condition::whole(0, Overlaps, 1),
+                Condition::whole(1, Overlaps, 2),
+                Condition::whole(0, Before, 3),
+            ],
+        )
+        .unwrap();
+        for seed in 0..5 {
+            check_q(&q, 100 + seed, 30, 4);
+        }
+        // And the constructed counterexample data specifically:
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                Relation::from_intervals("R1", vec![Interval::new(0, 10).unwrap()]),
+                Relation::from_intervals("R2", vec![Interval::new(5, 50).unwrap()]),
+                Relation::from_intervals("R3", vec![Interval::new(45, 60).unwrap()]),
+                Relation::from_intervals("R4", vec![Interval::new(20, 25).unwrap()]),
+            ],
+        )
+        .unwrap();
+        let got = AllSeqMatrix::new(6)
+            .run(&q, &input, &engine())
+            .unwrap()
+            .assert_no_duplicates();
+        assert_eq!(got, vec![vec![0, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn two_cycles_and_stats() {
+        let q = JoinQuery::chain(&[Overlaps, Before]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let rels = (0..3).map(|_| random_rel(&mut rng, 30, 200, 30)).collect();
+        let input = JoinInput::bind_owned(&q, rels).unwrap();
+        let out = AllSeqMatrix::new(4).run(&q, &input, &engine()).unwrap();
+        assert_eq!(out.chain.num_cycles(), 2);
+        assert!(out.stats.consistent_cells.is_some());
+        assert!(out.stats.replicated_intervals.is_some());
+    }
+
+    #[test]
+    fn randomized_agreement() {
+        for seed in 0..6 {
+            check(&[Overlaps, Before], 200 + seed, 40, 5);
+        }
+        for seed in 0..4 {
+            check(&[Contains, Before, Overlaps], 300 + seed, 25, 4);
+        }
+    }
+}

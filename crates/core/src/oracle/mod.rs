@@ -1,0 +1,18 @@
+//! Single-node reference implementations.
+//!
+//! The oracle computes the exact join output without MapReduce; every
+//! distributed algorithm is tested against it. Two engines:
+//!
+//! * [`nested_loop`] — the generic oracle for any query class;
+//! * [`plane_sweep`] — an independent sort-based implementation for 2-way
+//!   colocation joins, used to cross-check the oracle itself;
+//! * [`indexed`] — a third independent 2-way implementation on top of
+//!   [`ij_interval::IntervalIndex`].
+
+pub mod indexed;
+pub mod nested_loop;
+pub mod plane_sweep;
+
+pub use indexed::indexed_join_2way;
+pub use nested_loop::oracle_join;
+pub use plane_sweep::sweep_join_2way;

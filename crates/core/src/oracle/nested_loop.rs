@@ -1,0 +1,128 @@
+//! The generic single-node oracle.
+
+use crate::executor::{join_single_attr, join_tuples, Candidates};
+use crate::input::JoinInput;
+use crate::output::OutputTuple;
+use ij_interval::TupleId;
+use ij_query::{JoinQuery, QueryClass};
+
+/// Computes the exact join output on a single node, sorted canonically.
+///
+/// Uses the windowed single-attribute executor when possible and the
+/// general tuple executor for multi-attribute queries. Despite the module
+/// name this is not a naive quadratic loop — it shares the backtracking
+/// engine with the reducers, but over the *whole* input and with no
+/// ownership filter, which makes it an independent end-to-end check of the
+/// distributed routing (routing bugs cannot hide in a shared reducer step:
+/// they manifest as missing or duplicated tuples).
+pub fn oracle_join(q: &JoinQuery, input: &JoinInput) -> Vec<OutputTuple> {
+    let mut out: Vec<OutputTuple> = Vec::new();
+    if q.class() == QueryClass::General {
+        let lists: Vec<Vec<(TupleId, Vec<ij_interval::Interval>)>> = input
+            .relations()
+            .iter()
+            .map(|r| r.tuples().iter().map(|t| (t.id, t.attrs.clone())).collect())
+            .collect();
+        join_tuples(
+            q,
+            &lists,
+            |_| true,
+            |a| {
+                out.push(a.iter().map(|(tid, _)| *tid).collect());
+            },
+        );
+    } else {
+        let m = q.num_relations() as usize;
+        let mut cands = Candidates::new(m);
+        for (r, rel) in input.relations().iter().enumerate() {
+            for t in rel.tuples() {
+                cands.push(r, t.interval(), t.id);
+            }
+        }
+        cands.finish();
+        join_single_attr(
+            q,
+            &cands,
+            |_| true,
+            |a| {
+                out.push(a.iter().map(|(_, tid)| *tid).collect());
+            },
+        );
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+    use ij_interval::{Interval, Relation};
+
+    fn rel(ivs: &[(i64, i64)]) -> Relation {
+        Relation::from_intervals("R", ivs.iter().map(|&(s, e)| Interval::new(s, e).unwrap()))
+    }
+
+    #[test]
+    fn two_way_overlap() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                rel(&[(0, 10), (20, 25)]),
+                rel(&[(5, 15), (22, 30), (40, 50)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(oracle_join(&q, &input), vec![vec![0, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn empty_when_no_matches() {
+        let q = JoinQuery::chain(&[Before]).unwrap();
+        let input = JoinInput::bind_owned(&q, vec![rel(&[(10, 20)]), rel(&[(0, 5)])]).unwrap();
+        assert!(oracle_join(&q, &input).is_empty());
+    }
+
+    #[test]
+    fn intro_contains_query() {
+        // The introduction's pollution query: u2 and u3 contained in u1.
+        let q = JoinQuery::new(
+            3,
+            vec![
+                ij_query::Condition::whole(0, Contains, 1),
+                ij_query::Condition::whole(0, Contains, 2),
+            ],
+        )
+        .unwrap();
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                rel(&[(0, 100), (200, 210)]),
+                rel(&[(10, 20), (205, 206)]),
+                rel(&[(50, 60)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(oracle_join(&q, &input), vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn self_join_star() {
+        // R overlaps R and R overlaps R (Table 2's star query) via three
+        // logical bindings of the same relation.
+        let q = JoinQuery::new(
+            3,
+            vec![
+                ij_query::Condition::whole(0, Overlaps, 1),
+                ij_query::Condition::whole(1, Overlaps, 2),
+            ],
+        )
+        .unwrap();
+        let data = std::sync::Arc::new(rel(&[(0, 10), (5, 15), (12, 20)]));
+        let input = JoinInput::bind_self_join(&q, data).unwrap();
+        let out = oracle_join(&q, &input);
+        // 0 ov 1, 1 ov 2 -> (0,1,2) only.
+        assert_eq!(out, vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,124 @@
+//! A plane-sweep 2-way colocation join — an independent cross-check.
+//!
+//! Classic interval-join sweep: sort both sides by start point and, for
+//! each right-side interval, scan the left-side window of starts `<=` its
+//! end, testing the predicate. Implemented without the backtracking
+//! executor so the two oracles fail independently.
+
+use ij_interval::{AllenPredicate, Relation, TupleId};
+
+/// All pairs `(l, r)` with `left[l] pred right[r]`, for a *colocation*
+/// predicate, sorted.
+///
+/// # Panics
+/// Panics if `pred` is a sequence predicate (use a band join for those) or
+/// if a relation is not single-attribute.
+pub fn sweep_join_2way(
+    left: &Relation,
+    right: &Relation,
+    pred: AllenPredicate,
+) -> Vec<(TupleId, TupleId)> {
+    assert!(
+        pred.is_colocation(),
+        "plane sweep covers colocation predicates; got {pred}"
+    );
+    // Sort ids by start point.
+    let mut ls: Vec<TupleId> = (0..left.len() as TupleId).collect();
+    ls.sort_unstable_by_key(|&t| left.tuple(t).interval().start());
+    let mut rs: Vec<TupleId> = (0..right.len() as TupleId).collect();
+    rs.sort_unstable_by_key(|&t| right.tuple(t).interval().start());
+
+    let mut out = Vec::new();
+    // Colocation means the intervals share a point: for each left interval
+    // u, matching right intervals start at or before u.end and end at or
+    // after u.start. Sweep rights by start; maintain a window of candidate
+    // lefts whose [start, end] can still intersect.
+    let mut li = 0usize;
+    let mut active: Vec<TupleId> = Vec::new();
+    for &r in &rs {
+        let rv = right.tuple(r).interval();
+        // Admit lefts starting at or before rv.end.
+        while li < ls.len() && left.tuple(ls[li]).interval().start() <= rv.end() {
+            active.push(ls[li]);
+            li += 1;
+        }
+        // Retire lefts ending before rv.start cannot match this or any later
+        // right (rights are start-sorted), so drop them.
+        active.retain(|&l| left.tuple(l).interval().end() >= rv.start());
+        for &l in &active {
+            if pred.holds(left.tuple(l).interval(), rv) {
+                out.push((l, r));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+    use ij_interval::Interval;
+
+    fn rel(ivs: &[(i64, i64)]) -> Relation {
+        Relation::from_intervals("R", ivs.iter().map(|&(s, e)| Interval::new(s, e).unwrap()))
+    }
+
+    fn brute(left: &Relation, right: &Relation, pred: AllenPredicate) -> Vec<(TupleId, TupleId)> {
+        let mut out = Vec::new();
+        for l in left.tuples() {
+            for r in right.tuples() {
+                if pred.holds(l.interval(), r.interval()) {
+                    out.push((l.id, r.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_for_every_colocation_predicate() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let gen_rel = |rng: &mut StdRng| {
+            let ivs: Vec<(i64, i64)> = (0..60)
+                .map(|_| {
+                    let s = rng.gen_range(0..100);
+                    (s, s + rng.gen_range(0..20))
+                })
+                .collect();
+            rel(&ivs)
+        };
+        for pred in AllenPredicate::ALL {
+            if pred.is_sequence() {
+                continue;
+            }
+            for _ in 0..5 {
+                let l = gen_rel(&mut rng);
+                let r = gen_rel(&mut rng);
+                assert_eq!(
+                    sweep_join_2way(&l, &r, pred),
+                    brute(&l, &r, pred),
+                    "predicate {pred}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "colocation")]
+    fn rejects_sequence_predicates() {
+        let r = rel(&[(0, 1)]);
+        sweep_join_2way(&r, &r, Before);
+    }
+
+    #[test]
+    fn simple_overlap() {
+        let l = rel(&[(0, 10), (50, 60)]);
+        let r = rel(&[(5, 20)]);
+        assert_eq!(sweep_join_2way(&l, &r, Overlaps), vec![(0, 0)]);
+    }
+}

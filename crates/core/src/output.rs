@@ -1,0 +1,138 @@
+//! Join outputs and run statistics.
+
+use crate::records::OutRec;
+use ij_interval::TupleId;
+use ij_mapreduce::JobChain;
+use serde::{Deserialize, Serialize};
+
+/// One output tuple: the contributing tuple id of every logical relation,
+/// indexed by relation (`tuple[r]` comes from relation `r`).
+pub type OutputTuple = Vec<TupleId>;
+
+/// Whether reducers materialize output tuples or only count them.
+///
+/// A three-way interval join's output can be orders of magnitude larger
+/// than its input (Table 1's workloads produce hundreds of millions of
+/// tuples at paper scale); the benchmark harness runs in `Count` mode while
+/// tests run in `Materialize` mode and compare against the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputMode {
+    /// Emit every output tuple.
+    Materialize,
+    /// Emit only per-reducer counts.
+    Count,
+}
+
+/// Extra per-run statistics that the paper's tables report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Intervals selected for replication (Table 1, "# Intervals
+    /// Replicated"). For All-Rep this counts every interval of every
+    /// replicated relation; for RCCIS only the flagged ones.
+    pub replicated_intervals: Option<u64>,
+    /// Consistent reducers used vs the full matrix size (Sections 7–9,
+    /// e.g. 55-ish of 216 for Q2 with o=6).
+    pub consistent_cells: Option<(u64, u64)>,
+    /// Fraction of intervals pruned by PASM, per relation (Table 3's
+    /// "% intervals pruned in R1").
+    pub pruned_fraction: Vec<(String, f64)>,
+}
+
+/// The result of running a join algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinOutput {
+    /// The mode the run used.
+    pub mode: OutputMode,
+    /// Materialized tuples (empty in `Count` mode), in no particular order.
+    pub tuples: Vec<OutputTuple>,
+    /// Total output tuples (equals `tuples.len()` when materializing).
+    pub count: u64,
+    /// Per-cycle MapReduce metrics.
+    pub chain: JobChain,
+    /// Table-level statistics.
+    pub stats: RunStats,
+}
+
+impl JoinOutput {
+    /// Creates an output from reducer [`OutRec`]s.
+    pub fn from_records(mode: OutputMode, records: Vec<OutRec>, chain: JobChain) -> Self {
+        let mut tuples = Vec::new();
+        let mut count = 0u64;
+        for r in records {
+            match r {
+                OutRec::Tuple(ids) => {
+                    count += 1;
+                    tuples.push(ids);
+                }
+                OutRec::Count(n) => count += n,
+            }
+        }
+        JoinOutput {
+            mode,
+            tuples,
+            count,
+            chain,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// The tuples in canonical (sorted) order — for comparisons in tests.
+    pub fn sorted_tuples(&self) -> Vec<OutputTuple> {
+        let mut t = self.tuples.clone();
+        t.sort_unstable();
+        t
+    }
+
+    /// Asserts there are no duplicate output tuples and returns the sorted
+    /// list. Panics with a descriptive message otherwise (used by tests —
+    /// every algorithm must compute each output tuple exactly once).
+    pub fn assert_no_duplicates(&self) -> Vec<OutputTuple> {
+        let t = self.sorted_tuples();
+        for w in t.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate output tuple {:?}", w[0]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_records_mixes_counts_and_tuples() {
+        let out = JoinOutput::from_records(
+            OutputMode::Materialize,
+            vec![
+                OutRec::Tuple(vec![1, 2]),
+                OutRec::Count(5),
+                OutRec::Tuple(vec![0, 0]),
+            ],
+            JobChain::new(),
+        );
+        assert_eq!(out.count, 7);
+        assert_eq!(out.tuples.len(), 2);
+        assert_eq!(out.sorted_tuples(), vec![vec![0, 0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn no_duplicates_passes_on_unique() {
+        let out = JoinOutput::from_records(
+            OutputMode::Materialize,
+            vec![OutRec::Tuple(vec![1]), OutRec::Tuple(vec![2])],
+            JobChain::new(),
+        );
+        assert_eq!(out.assert_no_duplicates().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate output tuple")]
+    fn no_duplicates_panics_on_dupe() {
+        let out = JoinOutput::from_records(
+            OutputMode::Materialize,
+            vec![OutRec::Tuple(vec![1]), OutRec::Tuple(vec![1])],
+            JobChain::new(),
+        );
+        out.assert_no_duplicates();
+    }
+}

@@ -1,0 +1,19 @@
+//! RCCIS — *Replicate Consistent And Crossing Interval Sets*
+//! (paper Section 6.1).
+//!
+//! The colocation multi-way join algorithm. Two MR cycles:
+//!
+//! 1. **Marking** ([`marking`]): every relation is *split*; reducer `p_i`
+//!    finds the interval-sets that are consistent (Section 5.2) and cross
+//!    `p_i` (Section 5.3), and flags for replication the member intervals
+//!    that *start* in `p_i`. The flagged stream — every interval exactly
+//!    once, with its flag — is written to the DFS.
+//! 2. **Join** ([`rounds`]): flagged intervals are *replicated*, the rest
+//!    *projected*; each reducer joins what it received and emits the output
+//!    tuples it owns (those whose maximal start point lies in its
+//!    partition).
+
+pub mod marking;
+pub mod rounds;
+
+pub use rounds::Rccis;

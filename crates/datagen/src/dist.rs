@@ -1,0 +1,176 @@
+//! Sampling distributions for the synthetic generator.
+//!
+//! The paper's generator takes "distribution of start points (dS)" and
+//! "distribution of interval length (dI)" as parameters and reports results
+//! for uniform data, noting that "experiments varying other parameters like
+//! distribution of start-point of intervals … observed similar results". We
+//! provide uniform plus three skewed families so those unreported sweeps can
+//! be reproduced too.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sampling distribution over an inclusive integer range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over `[lo, hi]` — the paper's reported setting.
+    Uniform,
+    /// Truncated normal centered on the range midpoint with
+    /// `sd = span / 6` (≈ 99.7% of mass inside before clamping).
+    Normal,
+    /// Zipf-like power skew toward `lo`: `lo + span · u^theta` for
+    /// `u ~ U(0,1)`. `theta > 1` concentrates mass near `lo`.
+    Zipf {
+        /// Skew exponent; 1.0 degenerates to uniform.
+        theta: f64,
+    },
+    /// Truncated exponential decaying from `lo` with mean `span · scale`
+    /// before clamping.
+    Exponential {
+        /// Mean as a fraction of the span (e.g. 0.25).
+        scale: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws one sample from `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty sample range [{lo}, {hi}]");
+        if lo == hi {
+            return lo;
+        }
+        let span = (hi - lo) as f64;
+        let v = match self {
+            Distribution::Uniform => return rng.gen_range(lo..=hi),
+            Distribution::Normal => {
+                let mean = span / 2.0;
+                let sd = span / 6.0;
+                mean + sd * standard_normal(rng)
+            }
+            Distribution::Zipf { theta } => {
+                let u: f64 = rng.gen();
+                span * u.powf(theta.max(1e-9))
+            }
+            Distribution::Exponential { scale } => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() * span * scale.max(1e-9)
+            }
+        };
+        lo + (v.round() as i64).clamp(0, hi - lo)
+    }
+
+    /// Parses `"uniform"`, `"normal"`, `"zipf"` (theta 2.0) or `"exp"`
+    /// (scale 0.25); used by the bench binaries' CLI.
+    pub fn parse(s: &str) -> Option<Distribution> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" | "u" => Some(Distribution::Uniform),
+            "normal" | "n" => Some(Distribution::Normal),
+            "zipf" | "z" => Some(Distribution::Zipf { theta: 2.0 }),
+            "exp" | "exponential" | "e" => Some(Distribution::Exponential { scale: 0.25 }),
+            _ => None,
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(d: Distribution, n: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng, 0, 1000)).collect()
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Normal,
+            Distribution::Zipf { theta: 2.0 },
+            Distribution::Exponential { scale: 0.25 },
+        ] {
+            for s in samples(d, 5000) {
+                assert!((0..=1000).contains(&s), "{d:?} produced {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_range_returns_lo() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Distribution::Uniform.sample(&mut rng, 7, 7), 7);
+        assert_eq!(Distribution::Normal.sample(&mut rng, 7, 7), 7);
+    }
+
+    #[test]
+    fn uniform_covers_range_evenly() {
+        let s = samples(Distribution::Uniform, 20_000);
+        let mean = s.iter().sum::<i64>() as f64 / s.len() as f64;
+        assert!((mean - 500.0).abs() < 15.0, "mean = {mean}");
+        let low = s.iter().filter(|&&x| x < 100).count();
+        assert!(low > 1500 && low < 2500, "low decile count = {low}");
+    }
+
+    #[test]
+    fn zipf_skews_low() {
+        let s = samples(Distribution::Zipf { theta: 3.0 }, 20_000);
+        let below_quarter = s.iter().filter(|&&x| x < 250).count() as f64 / s.len() as f64;
+        assert!(below_quarter > 0.5, "zipf mass below 250: {below_quarter}");
+    }
+
+    #[test]
+    fn exponential_skews_low() {
+        let s = samples(Distribution::Exponential { scale: 0.2 }, 20_000);
+        let mean = s.iter().sum::<i64>() as f64 / s.len() as f64;
+        assert!(mean < 300.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_centers() {
+        let s = samples(Distribution::Normal, 20_000);
+        let mean = s.iter().sum::<i64>() as f64 / s.len() as f64;
+        assert!((mean - 500.0).abs() < 15.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            samples(Distribution::Uniform, 100),
+            samples(Distribution::Uniform, 100)
+        );
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Distribution::parse("uniform"), Some(Distribution::Uniform));
+        assert_eq!(Distribution::parse("Normal"), Some(Distribution::Normal));
+        assert!(matches!(
+            Distribution::parse("zipf"),
+            Some(Distribution::Zipf { .. })
+        ));
+        assert!(matches!(
+            Distribution::parse("exp"),
+            Some(Distribution::Exponential { .. })
+        ));
+        assert_eq!(Distribution::parse("pareto"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn rejects_inverted_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        Distribution::Uniform.sample(&mut rng, 5, 4);
+    }
+}

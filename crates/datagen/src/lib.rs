@@ -1,0 +1,27 @@
+//! Workload generators for the paper's evaluation.
+//!
+//! * [`synth`] — the synthetic interval generator of Section 6.2, with the
+//!   paper's exact parameters: number of intervals `nI`, start-point
+//!   distribution `dS`, length distribution `dI`, global time range
+//!   `(t_min, t_max)` and length bounds `(i_min, i_max)`.
+//! * [`packets`] / [`trains`] — a MAWI-like packet-stream simulator and the
+//!   paper's packet-train construction (Section 6.2): trains are maximal
+//!   per-flow packet runs whose inter-arrival gaps stay below a cutoff
+//!   (500 ms in the paper).
+//! * [`profiles`] — per-trace profiles P03–P08 shaped after Table 2.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod dist;
+pub mod io;
+pub mod packets;
+pub mod profiles;
+pub mod synth;
+pub mod trains;
+
+pub use dist::Distribution;
+pub use io::{load_relation, save_relation};
+pub use packets::{Packet, PacketStreamConfig, PacketStreamGen};
+pub use profiles::TraceProfile;
+pub use synth::SynthConfig;
+pub use trains::{trains_from_packets, Train};

@@ -1,0 +1,190 @@
+//! A MAWI-like packet-stream simulator.
+//!
+//! The paper uses 15-minute packet traces from the WIDE trans-pacific
+//! backbone (MAWI repository). Those traces are a resource we substitute
+//! (DESIGN.md §4): we synthesize per-flow packet arrivals with the bursty
+//! *train* structure network traffic exhibits (Jain & Routhier's packet-train
+//! model, the paper's reference \[9\]) — short intra-train gaps, long
+//! inter-train gaps — so that the paper's packet-train construction
+//! (`crate::trains`) recovers trains with heavy-tailed durations and bursty
+//! overlap, the structure the join experiments depend on.
+//!
+//! Timestamps are microseconds from trace start, like pcap headers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One captured packet: a flow (source/destination pair) and an arrival
+/// timestamp at the observation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Flow id (stands in for the source-IP/destination-IP pair).
+    pub flow: u32,
+    /// Arrival time in microseconds from trace start.
+    pub ts_us: i64,
+}
+
+/// Parameters of the packet-stream simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketStreamConfig {
+    /// Number of flows (source-destination pairs).
+    pub n_flows: u32,
+    /// Trace duration in microseconds (15 min = 900 s in the paper).
+    pub duration_us: i64,
+    /// Mean packets per train (geometric).
+    pub mean_train_len: f64,
+    /// Mean gap between packets inside a train, microseconds
+    /// (must be well below the train cutoff, 500 ms in the paper).
+    pub mean_intra_gap_us: f64,
+    /// Mean gap between trains of the same flow, microseconds
+    /// (must be well above the cutoff).
+    pub mean_inter_gap_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PacketStreamConfig {
+    fn default() -> Self {
+        PacketStreamConfig {
+            n_flows: 1000,
+            duration_us: 900_000_000, // 15 minutes
+            mean_train_len: 10.0,
+            mean_intra_gap_us: 50_000.0,    // 50 ms << 500 ms cutoff
+            mean_inter_gap_us: 5_000_000.0, // 5 s >> cutoff
+            seed: 0,
+        }
+    }
+}
+
+/// Generates packet streams from a [`PacketStreamConfig`].
+#[derive(Debug)]
+pub struct PacketStreamGen {
+    cfg: PacketStreamConfig,
+}
+
+impl PacketStreamGen {
+    /// Creates a generator.
+    pub fn new(cfg: PacketStreamConfig) -> Self {
+        PacketStreamGen { cfg }
+    }
+
+    /// Generates the full trace: all flows' packets, sorted by timestamp
+    /// (as they would appear at the observation point).
+    pub fn generate(&self) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut packets = Vec::new();
+        for flow in 0..self.cfg.n_flows {
+            self.generate_flow(flow, &mut rng, &mut packets);
+        }
+        packets.sort_by_key(|p| (p.ts_us, p.flow));
+        packets
+    }
+
+    /// One flow: alternating trains and inter-train silences until the
+    /// trace ends.
+    fn generate_flow(&self, flow: u32, rng: &mut StdRng, out: &mut Vec<Packet>) {
+        // Random initial offset so flows are desynchronized.
+        let mut t = (rng.gen::<f64>() * self.cfg.mean_inter_gap_us) as i64;
+        while t < self.cfg.duration_us {
+            // One train: geometric length, exponential intra gaps.
+            let len = geometric(rng, self.cfg.mean_train_len);
+            for i in 0..len {
+                if t >= self.cfg.duration_us {
+                    return;
+                }
+                out.push(Packet { flow, ts_us: t });
+                if i + 1 < len {
+                    t += exponential(rng, self.cfg.mean_intra_gap_us).max(1);
+                }
+            }
+            t += exponential(rng, self.cfg.mean_inter_gap_us).max(1);
+        }
+    }
+}
+
+/// Geometric sample with the given mean (support `1..`).
+fn geometric(rng: &mut StdRng, mean: f64) -> u32 {
+    let p = (1.0 / mean.max(1.0)).clamp(1e-9, 1.0);
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u32
+}
+
+/// Exponential sample with the given mean, in integer microseconds.
+fn exponential(rng: &mut StdRng, mean: f64) -> i64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (-u.ln() * mean) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PacketStreamConfig {
+        PacketStreamConfig {
+            n_flows: 50,
+            duration_us: 60_000_000, // 1 minute
+            mean_train_len: 8.0,
+            mean_intra_gap_us: 20_000.0,
+            mean_inter_gap_us: 2_000_000.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn packets_sorted_and_in_range() {
+        let pkts = PacketStreamGen::new(small_cfg()).generate();
+        assert!(!pkts.is_empty());
+        for w in pkts.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+        assert!(pkts.iter().all(|p| (0..60_000_000).contains(&p.ts_us)));
+        assert!(pkts.iter().all(|p| p.flow < 50));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PacketStreamGen::new(small_cfg()).generate();
+        let b = PacketStreamGen::new(small_cfg()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gap_structure_is_bimodal() {
+        // Within flows, gaps should cluster well below and well above the
+        // 500 ms cutoff — that's what makes train construction meaningful.
+        let pkts = PacketStreamGen::new(small_cfg()).generate();
+        let mut by_flow: std::collections::BTreeMap<u32, Vec<i64>> = Default::default();
+        for p in &pkts {
+            by_flow.entry(p.flow).or_default().push(p.ts_us);
+        }
+        let (mut small, mut large, mut mid) = (0u32, 0u32, 0u32);
+        for ts in by_flow.values() {
+            for w in ts.windows(2) {
+                let gap = w[1] - w[0];
+                if gap < 500_000 {
+                    small += 1;
+                } else if gap > 1_000_000 {
+                    large += 1;
+                } else {
+                    mid += 1;
+                }
+            }
+        }
+        assert!(small > 0 && large > 0);
+        // The mid zone (ambiguous gaps) should be a small minority.
+        assert!(
+            (mid as f64) < 0.1 * (small + large + mid) as f64,
+            "mid={mid} small={small} large={large}"
+        );
+    }
+
+    #[test]
+    fn geometric_mean_near_target() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut rng, 10.0) as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean = {mean}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Trace profiles P03–P08, shaped after the paper's Table 2.
+//!
+//! The paper chose six 15-minute MAWI traces "so that they contain widely
+//! different number of packets and hence different statistical
+//! characteristics". Each profile here records the paper's packet and train
+//! counts and derives simulator parameters that reproduce them in shape:
+//! mean train length = packets / trains, flows sized so a 15-minute trace
+//! yields the right train count. The `scale` knob shrinks everything
+//! proportionally for laptop-sized runs.
+
+use crate::packets::{PacketStreamConfig, PacketStreamGen};
+use crate::trains::{trains_from_packets, Train, PAPER_CUTOFF_US};
+use serde::{Deserialize, Serialize};
+
+/// A Table 2 trace profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Trace name, e.g. `"P03"`.
+    pub name: &'static str,
+    /// Paper's packet count for the Japan→US direction.
+    pub packets: u64,
+    /// Paper's packet-train count at the 500 ms cutoff.
+    pub trains: u64,
+    /// Copies needed to reach 3M trains (Table 2, "# Copies").
+    pub copies: u32,
+}
+
+/// The six traces of Table 2.
+pub const TABLE2_PROFILES: [TraceProfile; 6] = [
+    TraceProfile {
+        name: "P03",
+        packets: 1_500_000,
+        trains: 120_000,
+        copies: 25,
+    },
+    TraceProfile {
+        name: "P04",
+        packets: 200_000,
+        trains: 18_000,
+        copies: 167,
+    },
+    TraceProfile {
+        name: "P05",
+        packets: 2_900_000,
+        trains: 207_000,
+        copies: 15,
+    },
+    TraceProfile {
+        name: "P06",
+        packets: 3_400_000,
+        trains: 351_000,
+        copies: 9,
+    },
+    TraceProfile {
+        name: "P07",
+        packets: 9_100_000,
+        trains: 359_000,
+        copies: 9,
+    },
+    TraceProfile {
+        name: "P08",
+        packets: 7_300_000,
+        trains: 307_000,
+        copies: 10,
+    },
+];
+
+impl TraceProfile {
+    /// Looks a profile up by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<TraceProfile> {
+        TABLE2_PROFILES
+            .iter()
+            .copied()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mean packets per train in the paper's trace.
+    pub fn mean_train_len(&self) -> f64 {
+        self.packets as f64 / self.trains as f64
+    }
+
+    /// Simulator configuration reproducing this trace at the given scale
+    /// (`scale = 1.0` targets the paper's counts; `0.01` is laptop-sized).
+    pub fn stream_config(&self, scale: f64, seed: u64) -> PacketStreamConfig {
+        let duration_us = 900_000_000i64; // 15 minutes, like every MAWI extract
+        let target_trains = (self.trains as f64 * scale).max(1.0);
+        // Expected trains per flow ≈ duration / (train span + inter gap).
+        let mean_train_len = self.mean_train_len();
+        let intra = 40_000.0; // 40 ms, safely under the 500 ms cutoff
+        let inter = 3_000_000.0; // 3 s silences between trains
+        let train_span = (mean_train_len - 1.0).max(0.0) * intra;
+        let trains_per_flow = duration_us as f64 / (train_span + inter);
+        let n_flows = (target_trains / trains_per_flow).ceil().max(1.0) as u32;
+        PacketStreamConfig {
+            n_flows,
+            duration_us,
+            mean_train_len,
+            mean_intra_gap_us: intra,
+            mean_inter_gap_us: inter,
+            seed,
+        }
+    }
+
+    /// Generates the trace and constructs its packet trains at the paper's
+    /// 500 ms cutoff.
+    pub fn generate_trains(&self, scale: f64, seed: u64) -> Vec<Train> {
+        let pkts = PacketStreamGen::new(self.stream_config(scale, seed)).generate();
+        trains_from_packets(&pkts, PAPER_CUTOFF_US)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table2() {
+        assert_eq!(TABLE2_PROFILES.len(), 6);
+        let p04 = TraceProfile::by_name("p04").unwrap();
+        assert_eq!(p04.packets, 200_000);
+        assert_eq!(p04.trains, 18_000);
+        assert_eq!(p04.copies, 167);
+        assert!(TraceProfile::by_name("P99").is_none());
+    }
+
+    #[test]
+    fn copies_roughly_reach_3m_trains() {
+        // Table 2's "# Copies" column is ceil(3M / trains).
+        for p in TABLE2_PROFILES {
+            let implied = (3_000_000f64 / p.trains as f64).ceil() as u32;
+            assert!(
+                (implied as i64 - p.copies as i64).abs() <= 1,
+                "{}: implied {implied}, table {}",
+                p.name,
+                p.copies
+            );
+        }
+    }
+
+    #[test]
+    fn generated_train_count_tracks_profile() {
+        // At 2% scale, the simulated P04 should produce ~360 trains.
+        let p = TraceProfile::by_name("P04").unwrap();
+        let trains = p.generate_trains(0.02, 42);
+        let target = (p.trains as f64 * 0.02) as i64;
+        let got = trains.len() as i64;
+        assert!(
+            (got - target).abs() < target / 2 + 50,
+            "target ~{target}, got {got}"
+        );
+    }
+
+    #[test]
+    fn mean_train_length_tracks_profile() {
+        let p = TraceProfile::by_name("P07").unwrap(); // ~25 pkts/train
+        let trains = p.generate_trains(0.005, 7);
+        let total_pkts: u64 = trains.iter().map(|t| t.packets as u64).sum();
+        let mean = total_pkts as f64 / trains.len() as f64;
+        assert!(
+            (mean - p.mean_train_len()).abs() < p.mean_train_len() * 0.4,
+            "paper mean {:.1}, simulated {mean:.1}",
+            p.mean_train_len()
+        );
+    }
+
+    #[test]
+    fn traces_differ_in_character() {
+        let a = TraceProfile::by_name("P04")
+            .unwrap()
+            .generate_trains(0.02, 1);
+        let b = TraceProfile::by_name("P06")
+            .unwrap()
+            .generate_trains(0.02, 1);
+        assert!(
+            b.len() > a.len() * 5,
+            "P06 should dwarf P04: {} vs {}",
+            b.len(),
+            a.len()
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Packet-train construction (paper Section 6.2).
+//!
+//! > "A packet train consists of the sequence of packets flowing from a
+//! > source IP to a destination IP such that the difference between two
+//! > packet arrivals (at the observation point) is less than a threshold."
+//!
+//! The paper uses a 500 ms inter-arrival cutoff. Each train's `[start, end]`
+//! arrival times form one interval of the join relations.
+
+use crate::packets::Packet;
+use ij_interval::{Interval, Relation, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The paper's inter-arrival cutoff: 500 ms in microseconds.
+pub const PAPER_CUTOFF_US: i64 = 500_000;
+
+/// One packet train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Train {
+    /// The flow the train belongs to.
+    pub flow: u32,
+    /// Arrival time of the first packet.
+    pub start_us: Time,
+    /// Arrival time of the last packet.
+    pub end_us: Time,
+    /// Number of packets in the train.
+    pub packets: u32,
+}
+
+impl Train {
+    /// The train's duration interval — the join attribute.
+    pub fn interval(&self) -> Interval {
+        Interval::new_unchecked(self.start_us, self.end_us)
+    }
+}
+
+/// Splits packets into trains: per flow, a new train begins whenever the
+/// gap from the previous packet is `>= cutoff_us`.
+///
+/// Packets may arrive in any order; they are grouped by flow and sorted by
+/// timestamp first (the observation point interleaves flows).
+pub fn trains_from_packets(packets: &[Packet], cutoff_us: i64) -> Vec<Train> {
+    assert!(cutoff_us > 0, "cutoff must be positive");
+    let mut by_flow: BTreeMap<u32, Vec<i64>> = BTreeMap::new();
+    for p in packets {
+        by_flow.entry(p.flow).or_default().push(p.ts_us);
+    }
+    let mut trains = Vec::new();
+    for (flow, mut ts) in by_flow {
+        ts.sort_unstable();
+        let mut start = ts[0];
+        let mut prev = ts[0];
+        let mut count = 1u32;
+        for &t in &ts[1..] {
+            if t - prev >= cutoff_us {
+                trains.push(Train {
+                    flow,
+                    start_us: start,
+                    end_us: prev,
+                    packets: count,
+                });
+                start = t;
+                count = 0;
+            }
+            prev = t;
+            count += 1;
+        }
+        trains.push(Train {
+            flow,
+            start_us: start,
+            end_us: prev,
+            packets: count,
+        });
+    }
+    trains.sort_by_key(|t| (t.start_us, t.flow));
+    trains
+}
+
+/// Builds a single-attribute relation from train durations.
+pub fn trains_relation(name: impl Into<String>, trains: &[Train]) -> Relation {
+    Relation::from_intervals(name, trains.iter().map(Train::interval))
+}
+
+/// Replicates trains until `target` is reached (paper Section 6.2:
+/// "we generate a larger data containing 3 million packet trains by
+/// replicating the original data"). Copy `k` is shifted by `k · jitter_us`
+/// so replication densifies the trace without collapsing copies onto
+/// identical timestamps.
+pub fn replicate_to(trains: &[Train], target: usize, jitter_us: i64) -> Vec<Train> {
+    assert!(!trains.is_empty(), "cannot replicate an empty train set");
+    let mut out = Vec::with_capacity(target);
+    let mut copy = 0i64;
+    while out.len() < target {
+        let shift = copy * jitter_us;
+        for t in trains {
+            if out.len() >= target {
+                break;
+            }
+            out.push(Train {
+                flow: t.flow,
+                start_us: t.start_us + shift,
+                end_us: t.end_us + shift,
+                packets: t.packets,
+            });
+        }
+        copy += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: u32, ts: i64) -> Packet {
+        Packet { flow, ts_us: ts }
+    }
+
+    #[test]
+    fn splits_on_cutoff() {
+        // Flow 0: gaps 100, 600 (split), 50.
+        let pkts = vec![pkt(0, 0), pkt(0, 100), pkt(0, 700), pkt(0, 750)];
+        let trains = trains_from_packets(&pkts, 500);
+        assert_eq!(trains.len(), 2);
+        assert_eq!(
+            (trains[0].start_us, trains[0].end_us, trains[0].packets),
+            (0, 100, 2)
+        );
+        assert_eq!(
+            (trains[1].start_us, trains[1].end_us, trains[1].packets),
+            (700, 750, 2)
+        );
+    }
+
+    #[test]
+    fn gap_exactly_cutoff_splits() {
+        // "difference … less than a threshold" keeps packets together, so a
+        // gap equal to the cutoff starts a new train.
+        let pkts = vec![pkt(0, 0), pkt(0, 500)];
+        assert_eq!(trains_from_packets(&pkts, 500).len(), 2);
+        let pkts = vec![pkt(0, 0), pkt(0, 499)];
+        assert_eq!(trains_from_packets(&pkts, 500).len(), 1);
+    }
+
+    #[test]
+    fn flows_are_independent() {
+        // Interleaved flows must not merge.
+        let pkts = vec![pkt(0, 0), pkt(1, 10), pkt(0, 20), pkt(1, 30)];
+        let trains = trains_from_packets(&pkts, 500);
+        assert_eq!(trains.len(), 2);
+        assert_eq!(trains.iter().map(|t| t.packets).sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn single_packet_train() {
+        let trains = trains_from_packets(&[pkt(3, 42)], 500);
+        assert_eq!(trains.len(), 1);
+        let t = trains[0];
+        assert_eq!((t.start_us, t.end_us, t.packets), (42, 42, 1));
+        assert!(t.interval().is_point());
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let pkts = vec![pkt(0, 700), pkt(0, 0), pkt(0, 100), pkt(0, 750)];
+        let trains = trains_from_packets(&pkts, 500);
+        assert_eq!(trains.len(), 2);
+    }
+
+    #[test]
+    fn packet_counts_conserved() {
+        let pkts: Vec<Packet> = (0..100).map(|i| pkt(i % 5, (i as i64) * 333)).collect();
+        let trains = trains_from_packets(&pkts, 500);
+        assert_eq!(
+            trains.iter().map(|t| t.packets as usize).sum::<usize>(),
+            100
+        );
+    }
+
+    #[test]
+    fn relation_carries_durations() {
+        let pkts = vec![pkt(0, 0), pkt(0, 100)];
+        let trains = trains_from_packets(&pkts, 500);
+        let rel = trains_relation("P04", &trains);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuple(0).interval(), Interval::new(0, 100).unwrap());
+    }
+
+    #[test]
+    fn replicate_reaches_target_with_shifts() {
+        let base = trains_from_packets(&[pkt(0, 0), pkt(0, 100)], 500);
+        let big = replicate_to(&base, 5, 7);
+        assert_eq!(big.len(), 5);
+        assert_eq!(big[0].start_us, 0);
+        assert_eq!(big[1].start_us, 7);
+        assert_eq!(big[4].start_us, 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be positive")]
+    fn zero_cutoff_rejected() {
+        trains_from_packets(&[pkt(0, 0)], 0);
+    }
+}

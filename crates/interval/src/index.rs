@@ -1,0 +1,192 @@
+//! A static interval index for intersection ("stabbing") queries.
+//!
+//! The classic single-node data structure for interval joins: intervals are
+//! sorted by start point and overlaid with an implicit binary tree storing
+//! each subtree's maximum end point. A query for all intervals intersecting
+//! `[qs, qe]` descends the tree, pruning
+//!
+//! * subtrees whose maximum end is `< qs` (nothing reaches the query), and
+//! * the right siblings of any node whose start is `> qe` (starts are
+//!   sorted, so nothing further can start early enough).
+//!
+//! Construction is `O(n log n)`, a query is `O(log n + k)` for `k` results.
+//! `ij-core` uses it as an independent third implementation of the 2-way
+//! join oracle; it is also the structure a reducer would use for the
+//! half-open candidate windows (the *overlapped-by* direction) where a
+//! start-sorted binary search alone cannot prune.
+
+use crate::interval::{Interval, Time};
+
+/// A static index over a set of intervals supporting intersection queries.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex<T> {
+    /// Entries sorted by interval start.
+    entries: Vec<(Interval, T)>,
+    /// `max_end[i]` — the maximum end point within the segment-tree node
+    /// covering `i`'s range (1-based heap layout over `entries`).
+    max_end: Vec<Time>,
+}
+
+impl<T: Clone> IntervalIndex<T> {
+    /// Builds the index.
+    pub fn build(items: impl IntoIterator<Item = (Interval, T)>) -> Self {
+        let mut entries: Vec<(Interval, T)> = items.into_iter().collect();
+        entries.sort_by_key(|(iv, _)| iv.start());
+        let n = entries.len();
+        // Heap-layout segment tree of max end points (size 2 * next pow2).
+        let size = n.next_power_of_two().max(1);
+        let mut max_end = vec![Time::MIN; 2 * size];
+        for (i, (iv, _)) in entries.iter().enumerate() {
+            max_end[size + i] = iv.end();
+        }
+        for i in (1..size).rev() {
+            max_end[i] = max_end[2 * i].max(max_end[2 * i + 1]);
+        }
+        IntervalIndex { entries, max_end }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Visits every `(interval, payload)` whose interval shares at least
+    /// one point with `query`.
+    pub fn for_each_intersecting(&self, query: Interval, mut f: impl FnMut(Interval, &T)) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let size = self.max_end.len() / 2;
+        // Iterative descent with an explicit stack of tree nodes.
+        let mut stack = vec![(1usize, 0usize, size)]; // (node, lo, hi) over entry slots
+        while let Some((node, lo, hi)) = stack.pop() {
+            if lo >= self.entries.len() {
+                continue;
+            }
+            // Prune: nothing in this subtree ends at or after query.start.
+            if self.max_end[node] < query.start() {
+                continue;
+            }
+            // Prune: nothing in this subtree starts at or before query.end
+            // (starts are sorted, so the leftmost start is the minimum).
+            if self.entries[lo].0.start() > query.end() {
+                continue;
+            }
+            if hi - lo == 1 {
+                let (iv, payload) = &self.entries[lo];
+                if iv.intersects(query) {
+                    f(*iv, payload);
+                }
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            // Push right first so the left child is processed first (keeps
+            // visitation in ascending start order).
+            stack.push((2 * node + 1, mid, hi));
+            stack.push((2 * node, lo, mid));
+        }
+    }
+
+    /// Collects every payload whose interval intersects `query`.
+    pub fn intersecting(&self, query: Interval) -> Vec<(Interval, T)> {
+        let mut out = Vec::new();
+        self.for_each_intersecting(query, |iv, t| out.push((iv, t.clone())));
+        out
+    }
+
+    /// Collects every payload whose interval contains the point `t`.
+    pub fn stabbing(&self, t: Time) -> Vec<(Interval, T)> {
+        self.intersecting(Interval::point(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: Time, e: Time) -> Interval {
+        Interval::new(s, e).unwrap()
+    }
+
+    fn brute(items: &[(Interval, u32)], q: Interval) -> Vec<(Interval, u32)> {
+        let mut out: Vec<_> = items
+            .iter()
+            .filter(|(i, _)| i.intersects(q))
+            .copied()
+            .collect();
+        out.sort_by_key(|(i, t)| (i.start(), *t));
+        out
+    }
+
+    #[test]
+    fn finds_intersections_in_start_order() {
+        let items = vec![
+            (iv(0, 10), 0u32),
+            (iv(5, 7), 1),
+            (iv(12, 20), 2),
+            (iv(15, 16), 3),
+            (iv(30, 40), 4),
+        ];
+        let idx = IntervalIndex::build(items.clone());
+        assert_eq!(idx.intersecting(iv(6, 13)), brute(&items, iv(6, 13)));
+        assert_eq!(idx.intersecting(iv(21, 29)), vec![]);
+        assert_eq!(idx.stabbing(15).len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx: IntervalIndex<u32> = IntervalIndex::build(vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.intersecting(iv(0, 100)), vec![]);
+        let idx = IntervalIndex::build(vec![(iv(5, 9), 7u32)]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.stabbing(5), vec![(iv(5, 9), 7)]);
+        assert_eq!(idx.stabbing(4), vec![]);
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..30 {
+            let n = rng.gen_range(1..200);
+            let items: Vec<(Interval, u32)> = (0..n)
+                .map(|t| {
+                    let s = rng.gen_range(0..500);
+                    (iv(s, s + rng.gen_range(0..80)), t)
+                })
+                .collect();
+            let idx = IntervalIndex::build(items.clone());
+            for _ in 0..20 {
+                let s = rng.gen_range(0..500);
+                let q = iv(s, s + rng.gen_range(0..100));
+                assert_eq!(idx.intersecting(q), brute(&items, q), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 15, 17, 100] {
+            let items: Vec<(Interval, u32)> = (0..n)
+                .map(|i| (iv(i as Time * 3, i as Time * 3 + 4), i as u32))
+                .collect();
+            let idx = IntervalIndex::build(items.clone());
+            let q = iv(0, 1000);
+            assert_eq!(idx.intersecting(q).len(), n);
+        }
+    }
+
+    #[test]
+    fn duplicate_intervals_all_reported() {
+        let items = vec![(iv(1, 5), 0u32), (iv(1, 5), 1), (iv(1, 5), 2)];
+        let idx = IntervalIndex::build(items);
+        assert_eq!(idx.stabbing(3).len(), 3);
+    }
+}

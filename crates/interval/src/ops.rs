@@ -1,0 +1,173 @@
+//! Project, Split, Replicate — the building-block map operations
+//! (paper Section 3, Figure 2).
+//!
+//! A map function processes an interval by projecting, splitting or
+//! replicating it; each produced `(p_i, u)` key-value pair communicates the
+//! interval to reducer `p_i`. The three operations return partition index
+//! *ranges* here — contiguous by construction — which the join algorithms
+//! turn into key-value pairs.
+//!
+//! ```
+//! use ij_interval::{Interval, Partitioning, ops};
+//!
+//! // Figure 2: partitioning with four partition-intervals.
+//! let p = Partitioning::equi_width(0, 40, 4).unwrap();
+//! let u = Interval::new(2, 14).unwrap();  // starts in p1? no: p0, ends in p1
+//! let v = Interval::new(12, 17).unwrap(); // entirely inside p1
+//!
+//! assert_eq!(ops::project(u, &p), 0);
+//! assert_eq!(ops::project(v, &p), 1);
+//! assert_eq!(ops::split(u, &p), 0..2);     // u intersects p0, p1
+//! assert_eq!(ops::split(v, &p), 1..2);     // v intersects only p1
+//! assert_eq!(ops::replicate(u, &p), 0..4); // every partition from p0 on
+//! assert_eq!(ops::replicate(v, &p), 1..4); // every partition from p1 on
+//! ```
+
+use crate::interval::Interval;
+use crate::partition::{PartitionIndex, Partitioning};
+use crate::MapOp;
+use std::ops::Range;
+
+/// **Project**: the single partition containing the interval's start point.
+///
+/// `Project(u, P) -> {(p_i, u) | u.t_s ∈ p_i}`
+#[inline]
+pub fn project(u: Interval, p: &Partitioning) -> PartitionIndex {
+    p.index_of(u.start())
+}
+
+/// **Split**: every partition sharing at least one point with the interval.
+///
+/// `Split(u, P) -> {(p_i, u) | u ∩ p_i ≠ ∅}`
+#[inline]
+pub fn split(u: Interval, p: &Partitioning) -> Range<PartitionIndex> {
+    let first = p.index_of(u.start());
+    let last = p.index_of(u.end());
+    first..last + 1
+}
+
+/// **Replicate**: every partition having at least one point `>=` the
+/// interval's start point — i.e. the start partition and all that follow.
+///
+/// `Replicate(u, P) -> {(p_i, u) | u ∩ p_i ≠ ∅ ∨ u.t_s < p_i.t_s}`
+#[inline]
+pub fn replicate(u: Interval, p: &Partitioning) -> Range<PartitionIndex> {
+    let first = p.index_of(u.start());
+    first..p.len()
+}
+
+/// Applies a [`MapOp`] and returns the produced partition range.
+#[inline]
+pub fn apply(op: MapOp, u: Interval, p: &Partitioning) -> Range<PartitionIndex> {
+    match op {
+        MapOp::Project => {
+            let i = project(u, p);
+            i..i + 1
+        }
+        MapOp::Split => split(u, p),
+        MapOp::Replicate => replicate(u, p),
+    }
+}
+
+/// Number of key-value pairs a [`MapOp`] would produce for `u` — used by the
+/// cost accounting without materialising the pairs.
+#[inline]
+pub fn pair_count(op: MapOp, u: Interval, p: &Partitioning) -> usize {
+    apply(op, u, p).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::new(s, e).unwrap()
+    }
+
+    /// The worked example of Figure 2: relation R = {u, v} over a
+    /// four-partition partitioning. u starts in p1 (1-indexed in the paper,
+    /// p0 here) and overlaps p0..p1; v lies within p1 (paper p2).
+    #[test]
+    fn figure2_example() {
+        let p = Partitioning::equi_width(0, 40, 4).unwrap();
+        let u = iv(3, 16); // starts p0, overlaps p0 and p1
+        let v = iv(12, 18); // starts and ends in p1
+
+        // Project: {(p0,u)}, {(p1,v)}
+        assert_eq!(project(u, &p), 0);
+        assert_eq!(project(v, &p), 1);
+        // Split u: {(p0,u),(p1,u)}; split v: {(p1,v)}
+        assert_eq!(split(u, &p), 0..2);
+        assert_eq!(split(v, &p), 1..2);
+        // Replicate u: all four partitions; replicate v: p1,p2,p3.
+        assert_eq!(replicate(u, &p), 0..4);
+        assert_eq!(replicate(v, &p), 1..4);
+    }
+
+    #[test]
+    fn project_is_first_split_partition() {
+        let p = Partitioning::equi_width(0, 100, 7).unwrap();
+        for s in 0..100 {
+            for len in [0, 1, 13, 60] {
+                let u = iv(s, (s + len).min(99));
+                assert_eq!(project(u, &p), split(u, &p).start);
+            }
+        }
+    }
+
+    #[test]
+    fn split_subset_of_replicate() {
+        let p = Partitioning::equi_width(0, 100, 7).unwrap();
+        for s in 0..100 {
+            let u = iv(s, (s + 17).min(99));
+            let sp = split(u, &p);
+            let rp = replicate(u, &p);
+            assert_eq!(sp.start, rp.start);
+            assert!(sp.end <= rp.end);
+            assert_eq!(rp.end, p.len());
+        }
+    }
+
+    #[test]
+    fn split_covers_exactly_intersecting_partitions() {
+        let p = Partitioning::equi_width(0, 60, 5).unwrap();
+        let u = iv(11, 25);
+        let r = split(u, &p);
+        for i in p.indices() {
+            assert_eq!(
+                r.contains(&i),
+                p.intersects_partition(u, i),
+                "partition {i} vs split range {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn point_interval_ops() {
+        let p = Partitioning::equi_width(0, 40, 4).unwrap();
+        let u = Interval::point(10);
+        assert_eq!(project(u, &p), 1);
+        assert_eq!(split(u, &p), 1..2);
+        assert_eq!(replicate(u, &p), 1..4);
+    }
+
+    #[test]
+    fn interval_ending_on_boundary_splits_into_next() {
+        let p = Partitioning::equi_width(0, 40, 4).unwrap();
+        // 10 is the first point of p1, so [0,10] intersects p1.
+        assert_eq!(split(iv(0, 10), &p), 0..2);
+        assert_eq!(split(iv(0, 9), &p), 0..1);
+    }
+
+    #[test]
+    fn apply_matches_primitives() {
+        let p = Partitioning::equi_width(0, 40, 4).unwrap();
+        let u = iv(5, 22);
+        assert_eq!(apply(MapOp::Project, u, &p), 0..1);
+        assert_eq!(apply(MapOp::Split, u, &p), split(u, &p));
+        assert_eq!(apply(MapOp::Replicate, u, &p), replicate(u, &p));
+        assert_eq!(pair_count(MapOp::Split, u, &p), 3);
+        assert_eq!(pair_count(MapOp::Replicate, u, &p), 4);
+        assert_eq!(pair_count(MapOp::Project, u, &p), 1);
+    }
+}

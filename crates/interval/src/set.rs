@@ -1,0 +1,185 @@
+//! Utilities over collections of intervals.
+//!
+//! The paper's scenarios construct interval relations from raw event data:
+//! threshold exceedances of a sensor series (Section 1's weather query),
+//! packet trains from packet arrivals (Section 6.2). This module provides
+//! the standard building blocks — coalescing overlapping intervals,
+//! measuring coverage, gap extraction — used by the examples and the
+//! workload generators.
+
+use crate::interval::{Interval, Time};
+
+/// Coalesces intervals: sorts and merges every group that intersects or
+/// touches (shares an endpoint), returning disjoint intervals in order.
+///
+/// ```
+/// use ij_interval::{Interval, set::coalesce};
+/// let iv = |s, e| Interval::new(s, e).unwrap();
+/// assert_eq!(
+///     coalesce(vec![iv(5, 9), iv(0, 3), iv(3, 4), iv(20, 25)]),
+///     vec![iv(0, 4), iv(5, 9), iv(20, 25)]
+/// );
+/// ```
+pub fn coalesce(mut intervals: Vec<Interval>) -> Vec<Interval> {
+    intervals.sort_unstable_by_key(|iv| (iv.start(), iv.end()));
+    let mut out: Vec<Interval> = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        match out.last_mut() {
+            Some(last) if iv.start() <= last.end() => {
+                *last = Interval::new_unchecked(last.start(), last.end().max(iv.end()));
+            }
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+/// Total number of time points covered by the intervals (counting each
+/// point once).
+pub fn coverage(intervals: &[Interval]) -> i64 {
+    coalesce(intervals.to_vec())
+        .iter()
+        .map(|iv| iv.len() + 1)
+        .sum()
+}
+
+/// The maximal gaps between the coalesced intervals, within `[span.start,
+/// span.end]`. Gaps at the edges of the span are included.
+pub fn gaps(intervals: &[Interval], span: Interval) -> Vec<Interval> {
+    let merged = coalesce(intervals.to_vec());
+    let mut out = Vec::new();
+    let mut cursor = span.start();
+    for iv in merged {
+        if iv.start() > cursor {
+            let gap_end = (iv.start() - 1).min(span.end());
+            if gap_end >= cursor {
+                out.push(Interval::new_unchecked(cursor, gap_end));
+            }
+        }
+        cursor = cursor.max(iv.end() + 1);
+        if cursor > span.end() {
+            return out;
+        }
+    }
+    if cursor <= span.end() {
+        out.push(Interval::new_unchecked(cursor, span.end()));
+    }
+    out
+}
+
+/// Extracts maximal intervals of consecutive time points satisfying the
+/// predicate — e.g. the threshold-exceedance episodes of a sensor series,
+/// with `t` being the sample index.
+pub fn runs_where(len: usize, pred: impl Fn(usize) -> bool) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut start: Option<Time> = None;
+    for t in 0..len {
+        match (pred(t), start) {
+            (true, None) => start = Some(t as Time),
+            (false, Some(s)) => {
+                out.push(Interval::new_unchecked(s, t as Time - 1));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Interval::new_unchecked(s, len as Time - 1));
+    }
+    out
+}
+
+/// The maximum number of intervals alive at any single point — the
+/// "densest instant". Useful for sizing join output expectations: a point
+/// with `k` overlapping intervals contributes `O(k²)` colocation pairs.
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    let mut events: Vec<(Time, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        events.push((iv.start(), 1));
+        // Closed intervals: alive through end(), so the decrement happens
+        // just past it.
+        events.push((iv.end() + 1, -1));
+    }
+    events.sort_unstable();
+    let mut alive = 0i32;
+    let mut max = 0i32;
+    for (_, delta) in events {
+        alive += delta;
+        max = max.max(alive);
+    }
+    max as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: Time, e: Time) -> Interval {
+        Interval::new(s, e).unwrap()
+    }
+
+    #[test]
+    fn coalesce_merges_overlaps_and_touches() {
+        assert_eq!(
+            coalesce(vec![iv(0, 5), iv(3, 8), iv(9, 12)]),
+            vec![iv(0, 8), iv(9, 12)]
+        );
+        // Touching at an endpoint merges (closed intervals share the point).
+        assert_eq!(coalesce(vec![iv(0, 5), iv(5, 8)]), vec![iv(0, 8)]);
+        // Adjacent-but-not-touching stays split.
+        assert_eq!(coalesce(vec![iv(0, 4), iv(5, 8)]), vec![iv(0, 4), iv(5, 8)]);
+        assert_eq!(coalesce(vec![]), vec![]);
+    }
+
+    #[test]
+    fn coalesce_handles_containment() {
+        assert_eq!(
+            coalesce(vec![iv(0, 20), iv(5, 8), iv(19, 30)]),
+            vec![iv(0, 30)]
+        );
+    }
+
+    #[test]
+    fn coverage_counts_points_once() {
+        assert_eq!(coverage(&[iv(0, 4), iv(2, 6)]), 7); // points 0..=6
+        assert_eq!(coverage(&[iv(3, 3)]), 1);
+        assert_eq!(coverage(&[]), 0);
+    }
+
+    #[test]
+    fn gaps_cover_span_complement() {
+        let g = gaps(&[iv(2, 4), iv(8, 9)], iv(0, 12));
+        assert_eq!(g, vec![iv(0, 1), iv(5, 7), iv(10, 12)]);
+        // Gaps plus coverage partition the span.
+        let covered = coverage(&[iv(2, 4), iv(8, 9)]);
+        let gap_points: i64 = g.iter().map(|x| x.len() + 1).sum();
+        assert_eq!(covered + gap_points, 13);
+    }
+
+    #[test]
+    fn gaps_empty_input_is_whole_span() {
+        assert_eq!(gaps(&[], iv(3, 9)), vec![iv(3, 9)]);
+        // Fully covered span has no gaps.
+        assert_eq!(gaps(&[iv(0, 9)], iv(0, 9)), vec![]);
+    }
+
+    #[test]
+    fn runs_where_extracts_episodes() {
+        let data = [0, 5, 7, 2, 9, 9, 9, 0];
+        let runs = runs_where(data.len(), |t| data[t] > 4);
+        assert_eq!(runs, vec![iv(1, 2), iv(4, 6)]);
+        // Run extending to the end.
+        let runs = runs_where(3, |t| t >= 1);
+        assert_eq!(runs, vec![iv(1, 2)]);
+        assert_eq!(runs_where(0, |_| true), vec![]);
+    }
+
+    #[test]
+    fn max_overlap_counts_densest_instant() {
+        assert_eq!(max_overlap(&[iv(0, 10), iv(5, 15), iv(9, 12)]), 3);
+        assert_eq!(max_overlap(&[iv(0, 1), iv(5, 6)]), 1);
+        assert_eq!(max_overlap(&[]), 0);
+        // Endpoint sharing counts as overlap (closed intervals).
+        assert_eq!(max_overlap(&[iv(0, 5), iv(5, 9)]), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Tuples: rows of a relation, carrying one or more interval attributes.
+//!
+//! Following the paper's Section 9 observation that "a real-valued attribute
+//! can be visualized as an interval of length 0", *every* attribute is
+//! stored as an [`Interval`]; real values are length-0 intervals. A
+//! single-interval-attribute relation (the common case in Sections 4–8)
+//! simply has one attribute.
+
+use crate::interval::{Interval, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tuple within its relation (dense, 0-based).
+pub type TupleId = u32;
+
+/// Index of an attribute within a relation's schema (0-based).
+pub type AttrId = u16;
+
+/// A tuple: an id plus one interval per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Dense id within the owning relation.
+    pub id: TupleId,
+    /// One interval per attribute, indexed by [`AttrId`].
+    pub attrs: Vec<Interval>,
+}
+
+impl Tuple {
+    /// A single-attribute tuple.
+    pub fn single(id: TupleId, iv: Interval) -> Self {
+        Tuple {
+            id,
+            attrs: vec![iv],
+        }
+    }
+
+    /// A multi-attribute tuple.
+    pub fn multi(id: TupleId, attrs: Vec<Interval>) -> Self {
+        Tuple { id, attrs }
+    }
+
+    /// The value of attribute `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of range for this tuple.
+    #[inline]
+    pub fn attr(&self, a: AttrId) -> Interval {
+        self.attrs[a as usize]
+    }
+
+    /// The single interval of a single-attribute tuple.
+    ///
+    /// # Panics
+    /// Panics if the tuple does not have exactly one attribute.
+    #[inline]
+    pub fn interval(&self) -> Interval {
+        assert_eq!(
+            self.attrs.len(),
+            1,
+            "tuple has {} attributes",
+            self.attrs.len()
+        );
+        self.attrs[0]
+    }
+
+    /// Appends a real-valued attribute (stored as a point interval).
+    pub fn with_real(mut self, v: Time) -> Self {
+        self.attrs.push(Interval::point(v));
+        self
+    }
+
+    /// Appends an interval attribute.
+    pub fn with_interval(mut self, iv: Interval) -> Self {
+        self.attrs.push(iv);
+        self
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}(", self.id)?;
+        for (i, iv) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_attribute_access() {
+        let t = Tuple::single(3, Interval::new(1, 5).unwrap());
+        assert_eq!(t.id, 3);
+        assert_eq!(t.interval(), Interval::new(1, 5).unwrap());
+        assert_eq!(t.attr(0), Interval::new(1, 5).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes")]
+    fn interval_panics_on_multi_attribute() {
+        let t = Tuple::multi(0, vec![Interval::point(1), Interval::point(2)]);
+        let _ = t.interval();
+    }
+
+    #[test]
+    fn builder_appends_attributes() {
+        let t = Tuple::single(0, Interval::new(0, 9).unwrap())
+            .with_real(42)
+            .with_interval(Interval::new(5, 6).unwrap());
+        assert_eq!(t.attrs.len(), 3);
+        assert_eq!(t.attr(1), Interval::point(42));
+        assert!(t.attr(1).is_point());
+        assert_eq!(t.attr(2), Interval::new(5, 6).unwrap());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Tuple::single(7, Interval::new(2, 4).unwrap());
+        assert_eq!(t.to_string(), "t7([2, 4])");
+    }
+}

@@ -1,0 +1,474 @@
+//! The execution engine: runs one map-reduce cycle.
+
+use crate::cost::{CostModel, ReducerCost};
+use crate::fault::FaultPlan;
+use crate::job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId};
+use crate::metrics::{JobMetrics, ReducerLoad};
+use crate::record::Record;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cluster shape and cost parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Parallel reduce slots — the paper runs "16 reduce processes".
+    /// Note this is *slots*, not logical reducers: a job may have many more
+    /// distinct reducer keys than slots; they queue, and the simulated time
+    /// reflects the resulting waves.
+    pub reducer_slots: usize,
+    /// Worker threads used for the map phase (and for physically running
+    /// reducers). Defaults to the machine's available parallelism.
+    pub worker_threads: usize,
+    /// Cost-model weights for the simulated cluster time.
+    pub cost: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ClusterConfig {
+            reducer_slots: 16,
+            worker_threads: threads,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `slots` reduce slots and default cost weights.
+    pub fn with_slots(slots: usize) -> Self {
+        ClusterConfig {
+            reducer_slots: slots,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// Result of one map-reduce cycle: the reducer outputs (concatenated in
+/// reducer-key order, hence deterministic) plus the job metrics.
+#[derive(Debug, Clone)]
+pub struct JobOutput<O> {
+    /// Output records, ordered by reducer key then emission order.
+    pub outputs: Vec<O>,
+    /// The cycle's metrics.
+    pub metrics: JobMetrics,
+}
+
+/// The MapReduce engine. Cheap to construct; holds only configuration and an
+/// optional fault plan.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cfg: ClusterConfig,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl Engine {
+    /// Creates an engine over the given cluster configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Engine { cfg, faults: None }
+    }
+
+    /// Attaches a fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Runs one map-reduce cycle.
+    ///
+    /// * `input` — the records to map over (a multi-relation job simply
+    ///   concatenates its relations, with the relation id carried inside
+    ///   each record, as Hadoop jobs do with multiple input files).
+    /// * `mapper` / `reducer` — the job logic; usually closures.
+    ///
+    /// Output records are ordered by reducer key, then by value emission
+    /// order, so results are deterministic regardless of thread count.
+    ///
+    /// # Panics
+    /// Panics if an injected fault exceeds the fault plan's `max_attempts`
+    /// (mirroring Hadoop failing the job).
+    pub fn run_job<I, M, O>(
+        &self,
+        name: &str,
+        input: &[I],
+        mapper: impl Mapper<I, M>,
+        reducer: impl Reducer<M, O>,
+    ) -> JobOutput<O>
+    where
+        I: Record,
+        M: Record,
+        O: Record,
+    {
+        let start = Instant::now();
+
+        // ---- Map phase -----------------------------------------------------
+        let pairs = self.run_map_phase(input, &mapper);
+        let intermediate_pairs = pairs.len() as u64;
+        let shuffle_bytes: u64 = pairs.iter().map(|(_, v)| v.approx_bytes() + 8).sum();
+
+        // ---- Shuffle: group by key, preserving emission order --------------
+        let buckets = shuffle(pairs);
+
+        // ---- Reduce phase ---------------------------------------------------
+        let (mut results, loads) = self.run_reduce_phase(name, buckets, &reducer);
+
+        // Concatenate outputs in key order.
+        let output_records: u64 = results.iter().map(|(_, o)| o.len() as u64).sum();
+        let mut outputs = Vec::with_capacity(output_records as usize);
+        for (_, o) in &mut results {
+            outputs.append(o);
+        }
+
+        let simulated = self.cfg.cost.simulate(
+            input.len() as u64,
+            intermediate_pairs,
+            loads.iter().map(|l| ReducerCost {
+                pairs_received: l.pairs_received,
+                work: l.work,
+                output: l.output,
+            }),
+            self.cfg.reducer_slots,
+        );
+
+        let metrics = JobMetrics {
+            name: name.to_string(),
+            map_input_records: input.len() as u64,
+            intermediate_pairs,
+            shuffle_bytes,
+            distinct_reducers: loads.len() as u64,
+            reducer_loads: loads,
+            output_records,
+            wall: start.elapsed(),
+            simulated,
+        };
+
+        JobOutput { outputs, metrics }
+    }
+
+    /// Maps `input` in parallel chunks; pairs are concatenated in chunk
+    /// order so the overall emission order equals sequential execution.
+    fn run_map_phase<I, M>(&self, input: &[I], mapper: &impl Mapper<I, M>) -> Vec<(ReducerId, M)>
+    where
+        I: Record,
+        M: Record,
+    {
+        let threads = self.cfg.worker_threads.max(1);
+        if input.is_empty() {
+            return Vec::new();
+        }
+        let chunk = input.len().div_ceil(threads);
+        let chunks: Vec<&[I]> = input.chunks(chunk).collect();
+        let mut per_chunk: Vec<Vec<(ReducerId, M)>> = Vec::with_capacity(chunks.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|c| {
+                    scope.spawn(move |_| {
+                        let mut em = Emitter::new();
+                        for rec in *c {
+                            mapper.map(rec, &mut em);
+                        }
+                        em.pairs
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_chunk.push(h.join().expect("map worker panicked"));
+            }
+        })
+        .expect("map scope panicked");
+        let total: usize = per_chunk.iter().map(Vec::len).sum();
+        let mut pairs = Vec::with_capacity(total);
+        for mut p in per_chunk {
+            pairs.append(&mut p);
+        }
+        pairs
+    }
+
+    /// Runs reducers over the key buckets, work-stealing across worker
+    /// threads, with fault-injection retries.
+    fn run_reduce_phase<M, O>(
+        &self,
+        job_name: &str,
+        buckets: Vec<(ReducerId, Vec<M>)>,
+        reducer: &impl Reducer<M, O>,
+    ) -> (Vec<(ReducerId, Vec<O>)>, Vec<ReducerLoad>)
+    where
+        M: Record,
+        O: Record,
+    {
+        let threads = self.cfg.worker_threads.max(1);
+        let next = AtomicUsize::new(0);
+        let n = buckets.len();
+        let faults = self.faults.clone();
+        type Slot<O> = parking_lot::Mutex<Option<(ReducerId, Vec<O>, ReducerLoad)>>;
+        let results_slots: Vec<Slot<O>> = (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+
+        let scope_result = crossbeam::scope(|scope| {
+            for _ in 0..threads.min(n.max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (key, values) = &buckets[i];
+                    let mut attempts = 0u32;
+                    loop {
+                        attempts += 1;
+                        if let Some(plan) = &faults {
+                            if plan.should_fail(job_name, *key) {
+                                assert!(
+                                    attempts < plan.max_attempts(),
+                                    "reducer {key} of job {job_name} exceeded max attempts"
+                                );
+                                continue; // retry (re-clone input below)
+                            }
+                        }
+                        // Reducers take ownership of their group (they may
+                        // sort/drain); retry therefore re-clones from the
+                        // immutable bucket, mirroring Hadoop re-reading the
+                        // shuffled segment from disk.
+                        let mut vals = values.clone();
+                        let mut out = Vec::new();
+                        let mut ctx = ReduceCtx::new(*key);
+                        reducer.reduce(&mut ctx, &mut vals, &mut out);
+                        let load = ReducerLoad {
+                            key: *key,
+                            pairs_received: values.len() as u64,
+                            work: ctx.work(),
+                            output: out.len() as u64,
+                            attempts,
+                        };
+                        *results_slots[i].lock() = Some((*key, out, load));
+                        break;
+                    }
+                });
+            }
+        });
+        if let Err(payload) = scope_result {
+            // Re-raise the worker's panic with its original message.
+            // crossbeam aggregates unjoined child panics into a Vec.
+            match payload.downcast::<Vec<Box<dyn std::any::Any + Send>>>() {
+                Ok(mut panics) if !panics.is_empty() => std::panic::resume_unwind(panics.remove(0)),
+                Ok(_) => panic!("reduce worker panicked"),
+                Err(other) => std::panic::resume_unwind(other),
+            }
+        }
+
+        let mut outs = Vec::with_capacity(n);
+        let mut loads = Vec::with_capacity(n);
+        for slot in results_slots {
+            let (key, o, load) = slot.into_inner().expect("reducer result missing");
+            outs.push((key, o));
+            loads.push(load);
+        }
+        (outs, loads)
+    }
+}
+
+/// Groups intermediate pairs by key. Values within a group keep emission
+/// order; groups come out in ascending key order.
+fn shuffle<M>(mut pairs: Vec<(ReducerId, M)>) -> Vec<(ReducerId, Vec<M>)> {
+    // Stable sort keeps per-key emission order intact.
+    pairs.sort_by_key(|(k, _)| *k);
+    let mut buckets: Vec<(ReducerId, Vec<M>)> = Vec::new();
+    for (k, v) in pairs {
+        match buckets.last_mut() {
+            Some((last_k, vals)) if *last_k == k => vals.push(v),
+            _ => buckets.push((k, vec![v])),
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(ClusterConfig {
+            reducer_slots: 4,
+            worker_threads: 3,
+            cost: CostModel::default(),
+        })
+    }
+
+    #[test]
+    fn groups_all_values_for_a_key() {
+        let out = engine().run_job(
+            "group",
+            &[1u64, 2, 3, 4, 5, 6, 7, 8],
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 2, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.iter().sum()));
+            },
+        );
+        assert_eq!(out.outputs, vec![(0, 20), (1, 16)]);
+        assert_eq!(out.metrics.distinct_reducers, 2);
+        assert_eq!(out.metrics.map_input_records, 8);
+    }
+
+    #[test]
+    fn value_order_is_emission_order() {
+        // All values to one key: reducer must see input order even though
+        // the map phase ran on 3 threads.
+        let input: Vec<u64> = (0..1000).collect();
+        let out = engine().run_job(
+            "order",
+            &input,
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                out.append(vs);
+            },
+        );
+        assert_eq!(out.outputs, input);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let input: Vec<u64> = (0..500).map(|i| i * 7 % 101).collect();
+        let run = |threads: usize| {
+            Engine::new(ClusterConfig {
+                reducer_slots: 4,
+                worker_threads: threads,
+                cost: CostModel::default(),
+            })
+            .run_job(
+                "det",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| {
+                    e.emit(n % 7, n);
+                    if n % 3 == 0 {
+                        e.emit(n % 5, n * 2);
+                    }
+                },
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    for v in vs.iter() {
+                        out.push((ctx.key, *v));
+                    }
+                },
+            )
+            .outputs
+        };
+        let base = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(run(t), base, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_empty_job() {
+        let out = engine().run_job(
+            "empty",
+            &Vec::<u64>::new(),
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+        );
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.metrics.intermediate_pairs, 0);
+        assert_eq!(out.metrics.distinct_reducers, 0);
+    }
+
+    #[test]
+    fn metrics_count_pairs_and_outputs() {
+        let out = engine().run_job(
+            "metrics",
+            &[10u64, 20, 30],
+            |&n: &u64, e: &mut Emitter<u64>| {
+                // Each record to 2 reducers: 6 pairs.
+                e.emit(0, n);
+                e.emit(1, n);
+            },
+            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                out.push(vs.len() as u64);
+            },
+        );
+        assert_eq!(out.metrics.intermediate_pairs, 6);
+        assert_eq!(out.metrics.output_records, 2);
+        assert_eq!(out.metrics.shuffle_bytes, 6 * 16);
+        assert!(out.metrics.simulated > 0.0);
+    }
+
+    #[test]
+    fn reducer_work_units_recorded() {
+        let out = engine().run_job(
+            "work",
+            &[1u64, 2, 3],
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                ctx.add_work(100);
+                out.append(vs);
+            },
+        );
+        assert_eq!(out.metrics.total_work(), 100);
+    }
+
+    #[test]
+    fn fault_injection_retries_deterministically() {
+        let input: Vec<u64> = (0..100).collect();
+        let clean = engine().run_job(
+            "faulty",
+            &input,
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.iter().sum()));
+            },
+        );
+        let faulty = Engine::new(ClusterConfig {
+            reducer_slots: 4,
+            worker_threads: 3,
+            cost: CostModel::default(),
+        })
+        .with_faults(FaultPlan::new().fail("faulty", 2, 2))
+        .run_job(
+            "faulty",
+            &input,
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.iter().sum()));
+            },
+        );
+        assert_eq!(
+            faulty.outputs, clean.outputs,
+            "retry must not change output"
+        );
+        assert_eq!(faulty.metrics.retries(), 2);
+        let load2 = faulty
+            .metrics
+            .reducer_loads
+            .iter()
+            .find(|l| l.key == 2)
+            .unwrap();
+        assert_eq!(load2.attempts, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded max attempts")]
+    fn fault_exceeding_attempts_fails_job() {
+        let _ = Engine::new(ClusterConfig::with_slots(2))
+            .with_faults(FaultPlan::new().fail("j", 0, 10).with_max_attempts(3))
+            .run_job(
+                "j",
+                &[1u64],
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+            );
+    }
+
+    #[test]
+    fn shuffle_orders_keys_and_preserves_value_order() {
+        let buckets = shuffle(vec![(5u64, 'a'), (1, 'b'), (5, 'c'), (1, 'd'), (3, 'e')]);
+        assert_eq!(
+            buckets,
+            vec![(1, vec!['b', 'd']), (3, vec!['e']), (5, vec!['a', 'c']),]
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Mapper and reducer abstractions.
+//!
+//! A mapper turns one input record into intermediate `(ReducerId, value)`
+//! pairs via an [`Emitter`]; the engine routes all pairs with the same key to
+//! the same reducer invocation. Reducers receive their key, the values in
+//! deterministic (mapper-emission) order, and a [`ReduceCtx`] through which
+//! they report *work units* — the quantity the simulated cost model charges
+//! for reducer compute (e.g. candidate pairs examined by a join).
+
+use crate::record::Record;
+
+/// Identifies a logical reducer. Join algorithms encode either a 1-D
+/// partition index or the coordinates of a cell in an m-dimensional reducer
+/// matrix into this id (see `ij-core`'s `CellSpace`).
+pub type ReducerId = u64;
+
+/// Collects the intermediate pairs produced for one input record.
+#[derive(Debug)]
+pub struct Emitter<M> {
+    pub(crate) pairs: Vec<(ReducerId, M)>,
+}
+
+impl<M> Emitter<M> {
+    pub(crate) fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Emits one intermediate pair `(key, value)` — i.e. communicates
+    /// `value` to reducer `key`.
+    #[inline]
+    pub fn emit(&mut self, key: ReducerId, value: M) {
+        self.pairs.push((key, value));
+    }
+
+    /// Emits the same value to every key in `keys`, cloning as needed.
+    pub fn emit_to_all(&mut self, keys: impl IntoIterator<Item = ReducerId>, value: &M)
+    where
+        M: Clone,
+    {
+        for k in keys {
+            self.pairs.push((k, value.clone()));
+        }
+    }
+
+    /// Number of pairs emitted so far for the current record.
+    pub fn emitted(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Map side of a job: one input record in, intermediate pairs out.
+///
+/// Implemented for any `Fn(&I, &mut Emitter<M>) + Sync`, so jobs are usually
+/// written as closures.
+pub trait Mapper<I, M>: Sync {
+    /// Processes one input record.
+    fn map(&self, record: &I, out: &mut Emitter<M>);
+}
+
+impl<I, M, F> Mapper<I, M> for F
+where
+    F: Fn(&I, &mut Emitter<M>) + Sync,
+{
+    #[inline]
+    fn map(&self, record: &I, out: &mut Emitter<M>) {
+        self(record, out)
+    }
+}
+
+/// Per-invocation context handed to a reducer.
+#[derive(Debug)]
+pub struct ReduceCtx {
+    /// The key this invocation owns.
+    pub key: ReducerId,
+    pub(crate) work: u64,
+}
+
+impl ReduceCtx {
+    pub(crate) fn new(key: ReducerId) -> Self {
+        ReduceCtx { key, work: 0 }
+    }
+
+    /// Reports `units` of compute done by this reducer (candidate pairs
+    /// examined, comparisons, …). Feeds the simulated cost model; a reducer
+    /// that never calls this is charged only for the pairs it received.
+    #[inline]
+    pub fn add_work(&mut self, units: u64) {
+        self.work += units;
+    }
+
+    /// Work units reported so far.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+}
+
+/// Reduce side of a job: all values routed to one key in, output records out.
+///
+/// Implemented for any `Fn(&mut ReduceCtx, &mut Vec<M>, &mut Vec<O>) + Sync`.
+/// Values are handed over by value (`&mut Vec<M>`) so reducers may sort or
+/// drain them in place without an extra copy.
+pub trait Reducer<M, O>: Sync {
+    /// Processes the group for `ctx.key`.
+    fn reduce(&self, ctx: &mut ReduceCtx, values: &mut Vec<M>, out: &mut Vec<O>);
+}
+
+impl<M, O, F> Reducer<M, O> for F
+where
+    F: Fn(&mut ReduceCtx, &mut Vec<M>, &mut Vec<O>) + Sync,
+{
+    #[inline]
+    fn reduce(&self, ctx: &mut ReduceCtx, values: &mut Vec<M>, out: &mut Vec<O>) {
+        self(ctx, values, out)
+    }
+}
+
+/// An identity mapper routing every record to key 0 — occasionally useful in
+/// tests and for single-reducer aggregations.
+pub fn route_all_to_one<I: Record>(record: &I, out: &mut Emitter<I>) {
+    out.emit(0, record.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_pairs() {
+        let mut e: Emitter<u32> = Emitter::new();
+        e.emit(3, 10);
+        e.emit(3, 11);
+        e.emit(7, 12);
+        assert_eq!(e.emitted(), 3);
+        assert_eq!(e.pairs, vec![(3, 10), (3, 11), (7, 12)]);
+    }
+
+    #[test]
+    fn emit_to_all_clones() {
+        let mut e: Emitter<String> = Emitter::new();
+        e.emit_to_all(0..3, &"x".to_string());
+        assert_eq!(e.emitted(), 3);
+        assert!(e.pairs.iter().all(|(_, v)| v == "x"));
+    }
+
+    #[test]
+    fn reduce_ctx_accumulates_work() {
+        let mut ctx = ReduceCtx::new(5);
+        ctx.add_work(10);
+        ctx.add_work(7);
+        assert_eq!(ctx.work(), 17);
+        assert_eq!(ctx.key, 5);
+    }
+
+    #[test]
+    fn closures_implement_traits() {
+        fn assert_mapper<M: Mapper<u32, u32>>(_m: &M) {}
+        fn assert_reducer<R: Reducer<u32, u32>>(_r: &R) {}
+        let m = |r: &u32, out: &mut Emitter<u32>| out.emit(0, *r);
+        let r = |_ctx: &mut ReduceCtx, vs: &mut Vec<u32>, out: &mut Vec<u32>| out.append(vs);
+        assert_mapper(&m);
+        assert_reducer(&r);
+    }
+}

@@ -1,0 +1,59 @@
+//! A deterministic, in-process MapReduce engine.
+//!
+//! This crate is the substrate the paper's join algorithms run on. The paper
+//! evaluated on Hadoop 0.20.2 over a 16-core cluster; the algorithms,
+//! however, are defined purely in terms of the MapReduce *contract*:
+//!
+//! 1. map functions turn each input record into intermediate
+//!    `(reducer-id, value)` pairs;
+//! 2. the framework routes all pairs with the same key to the same reducer;
+//! 3. reducers process their group and emit output records;
+//! 4. multi-cycle algorithms chain jobs through a distributed file system.
+//!
+//! The engine implements that contract faithfully on an in-process thread
+//! pool and — crucially for reproducing the paper's evaluation — records the
+//! quantities the paper's analysis is about:
+//!
+//! * the number of intermediate key-value pairs (communication volume),
+//! * per-reducer load (the load-balancing story of Sections 6–7),
+//! * a simulated cluster elapsed time in which reducers are packed onto a
+//!   fixed number of *slots* (16 in the paper), so a straggler reducer
+//!   dominates a cycle exactly as it would on the real cluster.
+//!
+//! Execution is deterministic: shuffle groups are keyed and value order is
+//! the mappers' emission order, independent of thread count.
+//!
+//! ```
+//! use ij_mapreduce::{Engine, ClusterConfig, Emitter, ReduceCtx};
+//!
+//! let engine = Engine::new(ClusterConfig::default());
+//! // Word-count style: route each number to key (n % 3) and sum per key.
+//! let out = engine.run_job(
+//!     "sum-mod-3",
+//!     &[1u64, 2, 3, 4, 5, 6],
+//!     |&n: &u64, out: &mut Emitter<u64>| out.emit(n % 3, n),
+//!     |ctx: &mut ReduceCtx, values: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+//!         out.push((ctx.key, values.iter().sum()));
+//!     },
+//! );
+//! assert_eq!(out.outputs, vec![(0, 9), (1, 5), (2, 7)]);
+//! assert_eq!(out.metrics.intermediate_pairs, 6);
+//! ```
+
+pub mod chain;
+pub mod cost;
+pub mod dfs;
+pub mod engine;
+pub mod fault;
+pub mod job;
+pub mod metrics;
+pub mod record;
+
+pub use chain::JobChain;
+pub use cost::CostModel;
+pub use dfs::Dfs;
+pub use engine::{ClusterConfig, Engine, JobOutput};
+pub use fault::FaultPlan;
+pub use job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId};
+pub use metrics::{JobMetrics, ReducerLoad};
+pub use record::Record;

@@ -1,0 +1,151 @@
+//! Per-job metrics: the quantities the paper's evaluation reports.
+//!
+//! Table 1 reports "# Intervals Replicated" and "# Pairs" (total key-value
+//! pairs after replication); the Section 7 discussion is entirely about
+//! per-reducer load skew. [`JobMetrics`] captures all of these per job, and
+//! [`crate::JobChain`] aggregates them across the cycles of a multi-cycle
+//! algorithm.
+
+use crate::job::ReducerId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Load received and work done by a single logical reducer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducerLoad {
+    /// The reducer's key.
+    pub key: ReducerId,
+    /// Intermediate pairs routed to this reducer.
+    pub pairs_received: u64,
+    /// Work units the reducer reported via [`crate::ReduceCtx::add_work`].
+    pub work: u64,
+    /// Output records the reducer emitted.
+    pub output: u64,
+    /// Times this reducer was attempted (> 1 only under fault injection).
+    pub attempts: u32,
+}
+
+/// Metrics for one map-reduce cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub name: String,
+    /// Records read by the map phase.
+    pub map_input_records: u64,
+    /// Total intermediate key-value pairs (the paper's communication cost).
+    pub intermediate_pairs: u64,
+    /// Approximate bytes shuffled from mappers to reducers.
+    pub shuffle_bytes: u64,
+    /// Number of distinct reducer keys that received at least one pair.
+    pub distinct_reducers: u64,
+    /// Per-reducer loads, in key order.
+    pub reducer_loads: Vec<ReducerLoad>,
+    /// Output records across all reducers.
+    pub output_records: u64,
+    /// Real wall-clock time of the in-process execution.
+    pub wall: Duration,
+    /// Simulated cluster time (see [`crate::CostModel`]), in cost units.
+    pub simulated: f64,
+}
+
+impl JobMetrics {
+    /// The heaviest reducer's received-pair count — the straggler the
+    /// paper's load-balancing discussion (Fig. 4) is about.
+    pub fn max_reducer_pairs(&self) -> u64 {
+        self.reducer_loads
+            .iter()
+            .map(|l| l.pairs_received)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean pairs per *loaded* reducer (reducers that received nothing are
+    /// not counted — inconsistent reducers never appear in the shuffle).
+    pub fn mean_reducer_pairs(&self) -> f64 {
+        if self.reducer_loads.is_empty() {
+            return 0.0;
+        }
+        self.intermediate_pairs as f64 / self.reducer_loads.len() as f64
+    }
+
+    /// Load skew: max / mean pairs per reducer. 1.0 is perfectly balanced;
+    /// All-Rep on a sequence join approaches the reducer count (the
+    /// rightmost reducer gets nearly everything), while All-Matrix stays
+    /// close to 1 — that contrast is Figure 4.
+    pub fn skew(&self) -> f64 {
+        let mean = self.mean_reducer_pairs();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_reducer_pairs() as f64 / mean
+        }
+    }
+
+    /// Total reducer work units across the job.
+    pub fn total_work(&self) -> u64 {
+        self.reducer_loads.iter().map(|l| l.work).sum()
+    }
+
+    /// Total reducer attempts beyond the first (fault-injection retries).
+    pub fn retries(&self) -> u64 {
+        self.reducer_loads
+            .iter()
+            .map(|l| (l.attempts.saturating_sub(1)) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with_loads(pairs: &[u64]) -> JobMetrics {
+        JobMetrics {
+            name: "t".into(),
+            map_input_records: 0,
+            intermediate_pairs: pairs.iter().sum(),
+            shuffle_bytes: 0,
+            distinct_reducers: pairs.len() as u64,
+            reducer_loads: pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| ReducerLoad {
+                    key: i as u64,
+                    pairs_received: p,
+                    work: p * 2,
+                    output: 0,
+                    attempts: 1,
+                })
+                .collect(),
+            output_records: 0,
+            wall: Duration::ZERO,
+            simulated: 0.0,
+        }
+    }
+
+    #[test]
+    fn skew_balanced_is_one() {
+        let m = metrics_with_loads(&[10, 10, 10, 10]);
+        assert!((m.skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_detects_straggler() {
+        let m = metrics_with_loads(&[1, 1, 1, 97]);
+        assert!(m.skew() > 3.8, "skew = {}", m.skew());
+        assert_eq!(m.max_reducer_pairs(), 97);
+    }
+
+    #[test]
+    fn empty_job_skew_is_one() {
+        let m = metrics_with_loads(&[]);
+        assert_eq!(m.skew(), 1.0);
+        assert_eq!(m.max_reducer_pairs(), 0);
+    }
+
+    #[test]
+    fn total_work_sums() {
+        let m = metrics_with_loads(&[3, 4]);
+        assert_eq!(m.total_work(), 14);
+    }
+}

@@ -1,0 +1,125 @@
+//! Query classification into the paper's four classes (Section 1).
+
+use crate::query::JoinQuery;
+use serde::{Deserialize, Serialize};
+
+/// The paper's four interval-join query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// Single interval attribute, only colocation predicates — handled by
+    /// RCCIS (Section 6).
+    Colocation,
+    /// Single interval attribute, only sequence predicates — handled by
+    /// All-Matrix (Section 7).
+    Sequence,
+    /// Single interval attribute, both predicate classes — handled by
+    /// All-Seq-Matrix / PASM (Section 8).
+    Hybrid,
+    /// One or more interval attributes (possibly real-valued) — handled by
+    /// Gen-Matrix (Section 9).
+    General,
+}
+
+impl QueryClass {
+    /// Classifies a query.
+    ///
+    /// A query is "single interval attribute" when every relation
+    /// contributes exactly its attribute 0 to the join and declares no
+    /// further attributes in the query metadata.
+    pub fn of(q: &JoinQuery) -> QueryClass {
+        let single_attr = q
+            .conditions()
+            .iter()
+            .all(|c| c.left.attr == 0 && c.right.attr == 0)
+            && q.relations().iter().all(|r| r.attr_names.len() == 1);
+        if !single_attr {
+            return QueryClass::General;
+        }
+        let any_coloc = q.conditions().iter().any(|c| c.is_colocation());
+        let any_seq = q.conditions().iter().any(|c| c.is_sequence());
+        match (any_coloc, any_seq) {
+            (true, false) => QueryClass::Colocation,
+            (false, true) => QueryClass::Sequence,
+            (true, true) => QueryClass::Hybrid,
+            (false, false) => unreachable!("validated queries have conditions"),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueryClass::Colocation => "colocation",
+            QueryClass::Sequence => "sequence",
+            QueryClass::Hybrid => "hybrid",
+            QueryClass::General => "general",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{AttrRef, Condition};
+    use crate::query::RelationMeta;
+    use ij_interval::AllenPredicate::*;
+
+    #[test]
+    fn chain_classes() {
+        assert_eq!(
+            JoinQuery::chain(&[Overlaps, Contains]).unwrap().class(),
+            QueryClass::Colocation
+        );
+        assert_eq!(
+            JoinQuery::chain(&[Before, Before]).unwrap().class(),
+            QueryClass::Sequence
+        );
+        assert_eq!(
+            JoinQuery::chain(&[Overlaps, Before]).unwrap().class(),
+            QueryClass::Hybrid
+        );
+    }
+
+    #[test]
+    fn multi_attribute_is_general() {
+        // Q5-style: two attributes on R1.
+        let rels = vec![
+            RelationMeta {
+                name: "R1".into(),
+                attr_names: vec!["I".into(), "A".into()],
+            },
+            RelationMeta {
+                name: "R2".into(),
+                attr_names: vec!["I".into()],
+            },
+        ];
+        let q = JoinQuery::with_relations(
+            rels,
+            vec![
+                Condition::new(AttrRef::new(0, 0), Before, AttrRef::new(1, 0)),
+                Condition::new(AttrRef::new(0, 1), Equals, AttrRef::new(1, 0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.class(), QueryClass::General);
+    }
+
+    #[test]
+    fn extra_declared_attrs_force_general() {
+        // Even if all conditions use attr 0, a relation with extra declared
+        // attributes means tuples are wider than a bare interval.
+        let rels = vec![
+            RelationMeta {
+                name: "R1".into(),
+                attr_names: vec!["I".into(), "payload".into()],
+            },
+            RelationMeta {
+                name: "R2".into(),
+                attr_names: vec!["I".into()],
+            },
+        ];
+        let q = JoinQuery::with_relations(rels, vec![Condition::whole(0, Overlaps, 1)]).unwrap();
+        assert_eq!(q.class(), QueryClass::General);
+    }
+}

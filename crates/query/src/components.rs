@@ -1,0 +1,276 @@
+//! Colocation connected components — graph `G'` of Sections 8–9.
+//!
+//! Dropping the sequence edges from the join graph leaves connected
+//! components formed by colocation edges only. Each component `C_k`
+//! encapsulates a colocation query `Q_{C_k}`; the hybrid and general
+//! algorithms treat components as the dimensions of the reducer matrix and
+//! solve each `Q_{C_k}` with RCCIS.
+//!
+//! [`Component::as_query`] extracts `Q_{C_k}` as a standalone
+//! single-attribute [`JoinQuery`] over renumbered relations, which lets the
+//! RCCIS implementation work on plain colocation queries regardless of
+//! whether it is invoked directly (Section 6), per-component on one
+//! attribute (Section 8), or per-component on distinct attributes
+//! (Section 9).
+
+use crate::condition::{AttrRef, Condition};
+use crate::query::{JoinQuery, RelationMeta};
+use ij_interval::RelId;
+use serde::{Deserialize, Serialize};
+
+/// Dense id of a component within a query's decomposition.
+pub type ComponentId = usize;
+
+/// One colocation connected component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// The component's id (its dimension in the reducer matrix).
+    pub id: ComponentId,
+    /// The member vertices, sorted. A component may be a singleton (a
+    /// vertex with no colocation edges, like `⟨R2, I⟩` in Q5).
+    pub vertices: Vec<AttrRef>,
+    /// Indices (into the parent query's condition list) of the colocation
+    /// conditions inside this component.
+    pub condition_idxs: Vec<usize>,
+}
+
+impl Component {
+    /// Whether the vertex belongs to this component.
+    pub fn contains(&self, v: AttrRef) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Position of a vertex within this component's ordered vertex list —
+    /// the vertex's relation id in [`Component::as_query`]'s renumbering.
+    pub fn local_index(&self, v: AttrRef) -> Option<usize> {
+        self.vertices.binary_search(&v).ok()
+    }
+
+    /// Extracts the encapsulated colocation query `Q_C` as a standalone
+    /// single-attribute query: component vertex `vertices[i]` becomes the
+    /// sub-query's relation `RelId(i)`.
+    ///
+    /// Singleton components (no internal conditions) return `None` — there
+    /// is nothing to join within them.
+    pub fn as_query(&self, parent: &JoinQuery) -> Option<JoinQuery> {
+        if self.condition_idxs.is_empty() {
+            return None;
+        }
+        let relations = self
+            .vertices
+            .iter()
+            .map(|v| RelationMeta {
+                name: format!(
+                    "{}.{}",
+                    parent.relations()[v.rel.idx()].name,
+                    parent.relations()[v.rel.idx()].attr_names[v.attr as usize]
+                ),
+                attr_names: vec!["a0".to_string()],
+            })
+            .collect();
+        let conditions = self
+            .condition_idxs
+            .iter()
+            .map(|&ci| {
+                let c = parent.conditions()[ci];
+                let l = self.local_index(c.left).expect("left vertex in component");
+                let r = self
+                    .local_index(c.right)
+                    .expect("right vertex in component");
+                Condition::whole(l as u16, c.pred, r as u16)
+            })
+            .collect();
+        Some(JoinQuery::with_relations(relations, conditions).expect("component query is valid"))
+    }
+}
+
+/// A query's decomposition into colocation components, plus the sequence
+/// conditions connecting them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Components {
+    /// The components, ordered by their smallest vertex.
+    pub components: Vec<Component>,
+    /// Indices of the parent query's sequence conditions — the edges of the
+    /// rewritten sequence query `Q'`.
+    pub sequence_condition_idxs: Vec<usize>,
+}
+
+impl Components {
+    /// Decomposes `q`.
+    pub fn of(q: &JoinQuery) -> Components {
+        let g = q.join_graph();
+        let ids = g.component_ids(|coloc| coloc);
+        let n_components = ids.iter().copied().max().map_or(0, |m| m + 1);
+        let mut components: Vec<Component> = (0..n_components)
+            .map(|id| Component {
+                id,
+                vertices: Vec::new(),
+                condition_idxs: Vec::new(),
+            })
+            .collect();
+        for (vi, &cid) in ids.iter().enumerate() {
+            components[cid].vertices.push(g.vertices()[vi]);
+        }
+        let mut sequence_condition_idxs = Vec::new();
+        for (ci, c) in q.conditions().iter().enumerate() {
+            if c.is_colocation() {
+                let cid = ids[g.vertex_index(c.left).expect("vertex present")];
+                components[cid].condition_idxs.push(ci);
+            } else {
+                sequence_condition_idxs.push(ci);
+            }
+        }
+        // Vertices arrive in sorted order already (graph vertices are
+        // sorted and scanned in order), but make the invariant explicit.
+        for c in &mut components {
+            c.vertices.sort_unstable();
+        }
+        Components {
+            components,
+            sequence_condition_idxs,
+        }
+    }
+
+    /// Number of components `l` — the dimensionality of the reducer matrix
+    /// in All-Seq-Matrix / Gen-Matrix.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether there are no components (impossible for validated queries).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component containing a vertex.
+    pub fn component_of(&self, v: AttrRef) -> Option<ComponentId> {
+        self.components.iter().find(|c| c.contains(v)).map(|c| c.id)
+    }
+
+    /// The components a relation participates in — one per join attribute
+    /// for Gen-Matrix; exactly one for single-attribute queries.
+    pub fn components_of_relation(&self, r: RelId) -> Vec<(ComponentId, AttrRef)> {
+        let mut out = Vec::new();
+        for c in &self.components {
+            for &v in &c.vertices {
+                if v.rel == r {
+                    out.push((c.id, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+
+    /// Q3 (Section 8): R1 ov R2 and R2 ov R3 and R2 before R4 and R4 ov R5.
+    fn q3() -> JoinQuery {
+        JoinQuery::new(
+            5,
+            vec![
+                Condition::whole(0, Overlaps, 1),
+                Condition::whole(1, Overlaps, 2),
+                Condition::whole(1, Before, 3),
+                Condition::whole(3, Overlaps, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q3_decomposes_into_two_components() {
+        let comps = q3().components();
+        assert_eq!(comps.len(), 2);
+        let c1 = &comps.components[0];
+        let c2 = &comps.components[1];
+        assert_eq!(
+            c1.vertices,
+            vec![AttrRef::whole(0), AttrRef::whole(1), AttrRef::whole(2)]
+        );
+        assert_eq!(c2.vertices, vec![AttrRef::whole(3), AttrRef::whole(4)]);
+        assert_eq!(c1.condition_idxs, vec![0, 1]);
+        assert_eq!(c2.condition_idxs, vec![3]);
+        assert_eq!(comps.sequence_condition_idxs, vec![2]);
+    }
+
+    #[test]
+    fn component_query_renumbers() {
+        let q = q3();
+        let comps = q.components();
+        let sub = comps.components[1].as_query(&q).unwrap();
+        // C2 encapsulates R4 overlaps R5 -> renumbered to R1 overlaps R2.
+        assert_eq!(sub.num_relations(), 2);
+        assert_eq!(sub.conditions()[0], Condition::whole(0, Overlaps, 1));
+    }
+
+    #[test]
+    fn pure_sequence_query_gives_singletons() {
+        // Q2: R1 before R2 and R2 before R3 — three singleton components.
+        let q = JoinQuery::chain(&[Before, Before]).unwrap();
+        let comps = q.components();
+        assert_eq!(comps.len(), 3);
+        for c in &comps.components {
+            assert_eq!(c.vertices.len(), 1);
+            assert!(c.condition_idxs.is_empty());
+            assert!(c.as_query(&q).is_none());
+        }
+        assert_eq!(comps.sequence_condition_idxs, vec![0, 1]);
+    }
+
+    #[test]
+    fn pure_colocation_query_is_one_component() {
+        let q = JoinQuery::chain(&[Overlaps, Contains, Overlaps]).unwrap();
+        let comps = q.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps.components[0].vertices.len(), 4);
+        assert!(comps.sequence_condition_idxs.is_empty());
+        // The component query is the query itself, modulo naming.
+        let sub = comps.components[0].as_query(&q).unwrap();
+        assert_eq!(sub.conditions(), q.conditions());
+    }
+
+    #[test]
+    fn q5_multi_attribute_components() {
+        // Q5 (Section 9): R1.I before R2.I and R1.I overlaps R3.I and
+        // R1.A = R3.A and R2.B = R3.B.
+        use crate::query::RelationMeta;
+        let rels = vec![
+            RelationMeta {
+                name: "R1".into(),
+                attr_names: vec!["I".into(), "A".into()],
+            },
+            RelationMeta {
+                name: "R2".into(),
+                attr_names: vec!["I".into(), "B".into()],
+            },
+            RelationMeta {
+                name: "R3".into(),
+                attr_names: vec!["I".into(), "A".into(), "B".into()],
+            },
+        ];
+        let q = JoinQuery::with_relations(
+            rels,
+            vec![
+                Condition::new(AttrRef::new(0, 0), Before, AttrRef::new(1, 0)),
+                Condition::new(AttrRef::new(0, 0), Overlaps, AttrRef::new(2, 0)),
+                Condition::new(AttrRef::new(0, 1), Equals, AttrRef::new(2, 1)),
+                Condition::new(AttrRef::new(1, 1), Equals, AttrRef::new(2, 2)),
+            ],
+        )
+        .unwrap();
+        let comps = q.components();
+        // C1={R1.I,R3.I}, C2={R1.A,R3.A}, C3={R2.I}, C4={R2.B,R3.B} — four
+        // components as the paper states (order here is by smallest vertex).
+        assert_eq!(comps.len(), 4);
+        let sizes: Vec<usize> = comps.components.iter().map(|c| c.vertices.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+        assert!(sizes.contains(&1)); // the singleton ⟨R2, I⟩
+                                     // R3 participates in three components via three attributes.
+        assert_eq!(comps.components_of_relation(RelId(2)).len(), 3);
+        assert_eq!(comps.sequence_condition_idxs, vec![0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Crossing interval-sets (paper Section 5.3).
+//!
+//! An interval-set `U` (with relation-set `R_U`) *crosses* partition-interval
+//! `p` when:
+//!
+//! 1. no two intervals belong to the same relation (guaranteed by the
+//!    assignment representation),
+//! 2. every interval in `U` intersects `p`,
+//! 3. for every query condition between a relation `R_in ∈ R_U` and a
+//!    relation `R_out ∉ R_U`, with `u` the `R_in` member of `U`:
+//!    * **B1** — if the predicate orders `R_in < R_out`, then `u` crosses
+//!      the *right* boundary of `p` (its end point lies in a later
+//!      partition);
+//!    * **B2** — if the predicate orders `R_out < R_in`, then `u` crosses
+//!      the *left* boundary of `p` (its start point lies in an earlier
+//!      partition).
+//!
+//! A consistent set that crosses `p` is one that could combine with
+//! intervals outside `p` to form an output tuple — the selection criterion
+//! of RCCIS.
+
+use crate::query::JoinQuery;
+use ij_interval::{Interval, PartitionIndex, Partitioning};
+
+/// Whether the (partial, single-attribute) assignment crosses partition `p`
+/// of `part` under query `q`. Conditions 2 and 3 of Section 5.3;
+/// condition 1 is structural.
+pub fn crosses_partition(
+    q: &JoinQuery,
+    part: &Partitioning,
+    p: PartitionIndex,
+    assign: &[Option<Interval>],
+) -> bool {
+    debug_assert_eq!(assign.len(), q.num_relations() as usize);
+    // A set covering every relation is an output tuple, not a crossing set
+    // (Section 6.1: "an output tuple is not a crossing-set and hence does
+    // not satisfy the condition C2 of RCCIS") — there is nothing outside it
+    // to combine with.
+    if assign.iter().all(Option::is_some) {
+        return false;
+    }
+    // Condition 2: every member intersects p.
+    if !assign
+        .iter()
+        .flatten()
+        .all(|&iv| part.intersects_partition(iv, p))
+    {
+        return false;
+    }
+    // Condition 3: boundary conditions on edges leaving the set.
+    for c in q.conditions() {
+        let left_in = assign[c.left.rel.idx()];
+        let right_in = assign[c.right.rel.idx()];
+        let (member, member_is_lesser) = match (left_in, right_in) {
+            (Some(l), None) => (l, c.lesser() == c.left),
+            (None, Some(r)) => (r, c.lesser() == c.right),
+            // Edge fully inside or fully outside the set: no constraint.
+            _ => continue,
+        };
+        let ok = if member_is_lesser {
+            // B1: the in-set member is ordered before the outside relation.
+            part.crosses_right(member, p)
+        } else {
+            // B2: the outside relation is ordered before the member.
+            part.crosses_left(member, p)
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+
+    fn iv(s: i64, e: i64) -> Option<Interval> {
+        Some(Interval::new(s, e).unwrap())
+    }
+
+    /// Section 5.3's worked examples over Q0 and Figure 3, reconstructed
+    /// (see `tests/figure3.rs`): U4={u3,v1,w2} crosses p2; U5={v3,w2}
+    /// crosses p2; U6={v3,w1} does not (w1 fails B1 for `R3 overlaps R4`).
+    #[test]
+    fn section53_examples() {
+        let q = JoinQuery::chain(&[Overlaps, Contains, Overlaps]).unwrap();
+        // Partitioning with 4 partitions of width 10 over [0, 40).
+        let part = Partitioning::equi_width(0, 40, 4).unwrap();
+        let p2 = 1; // the paper's p2 is our index 1
+
+        // Reconstruction: u3=[14,23], v1=[16,29], w2=[17,21]... w2 must
+        // cross the right boundary of p2 ([10,20)): w2=[17,25].
+        let u3 = iv(14, 23);
+        let v1 = iv(16, 29);
+        let w2 = iv(17, 25);
+        // U4 = {u3, v1, w2}: all intersect p2; only boundary edge is
+        // R3 overlaps R4 (R4 outside) => w2 must cross right; it does.
+        assert!(crosses_partition(&q, &part, p2, &[u3, v1, w2, None]));
+
+        // U5 = {v3, w2}: boundary edges are R1 ov R2 (v3 must cross left)
+        // and R3 ov R4 (w2 must cross right).
+        let v3 = iv(6, 19); // starts in p1 (paper p1), crosses into p2
+        assert!(crosses_partition(&q, &part, p2, &[None, v3, w2, None]));
+
+        // U6 = {v3, w1}: w1 ends inside p2 -> fails B1.
+        let w1 = iv(12, 18);
+        assert!(!crosses_partition(&q, &part, p2, &[None, v3, w1, None]));
+    }
+
+    #[test]
+    fn members_must_intersect_partition() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let part = Partitioning::equi_width(0, 40, 4).unwrap();
+        // Interval entirely in p0 cannot cross p2's checks (condition 2).
+        assert!(!crosses_partition(&q, &part, 2, &[iv(0, 5), None]));
+    }
+
+    #[test]
+    fn b2_left_boundary() {
+        // R1 overlaps R2; consider the set {v} with v in R2. The boundary
+        // edge orders R1 < R2, so v must cross the LEFT boundary (B2).
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let part = Partitioning::equi_width(0, 40, 4).unwrap();
+        let crossing_left = iv(5, 15); // starts in p0, intersects p1
+        let not_crossing = iv(12, 15); // starts inside p1
+        assert!(crosses_partition(&q, &part, 1, &[None, crossing_left]));
+        assert!(!crosses_partition(&q, &part, 1, &[None, not_crossing]));
+    }
+
+    #[test]
+    fn full_assignment_never_crosses() {
+        // Section 6.1: "an output tuple is not a crossing-set". A full
+        // consistent set inside one partition is computed there directly;
+        // counting it as crossing would replicate needlessly.
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let part = Partitioning::equi_width(0, 40, 4).unwrap();
+        assert!(!crosses_partition(&q, &part, 0, &[iv(0, 5), iv(3, 8)]));
+        // Even when a member crosses the boundary, the full set is still an
+        // output tuple, not a crossing set.
+        assert!(!crosses_partition(&q, &part, 0, &[iv(0, 15), iv(3, 18)]));
+    }
+
+    #[test]
+    fn sequence_edges_also_constrain() {
+        // R1 before R2: set {u} (u in R1) crossing p requires u to cross
+        // the right boundary — B1 with a sequence predicate.
+        let q = JoinQuery::chain(&[Before]).unwrap();
+        let part = Partitioning::equi_width(0, 40, 4).unwrap();
+        assert!(crosses_partition(&q, &part, 0, &[iv(5, 12), None]));
+        assert!(!crosses_partition(&q, &part, 0, &[iv(5, 9), None]));
+    }
+}

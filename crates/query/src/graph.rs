@@ -1,0 +1,157 @@
+//! The join graph `G = (V, E)` (Sections 8–9).
+//!
+//! Vertices are the ⟨relation, attribute⟩ pairs appearing in conditions;
+//! every condition contributes an edge classified as colocation or sequence
+//! by its predicate.
+
+use crate::condition::AttrRef;
+use crate::query::JoinQuery;
+use std::collections::BTreeMap;
+
+/// Adjacency view of a query's join graph.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    vertices: Vec<AttrRef>,
+    /// For each vertex (by index into `vertices`): `(neighbor index,
+    /// condition index, is_colocation)`.
+    adj: Vec<Vec<(usize, usize, bool)>>,
+    index: BTreeMap<AttrRef, usize>,
+}
+
+impl JoinGraph {
+    /// Builds the join graph of `q`.
+    pub fn of(q: &JoinQuery) -> JoinGraph {
+        let vertices = q.vertices();
+        let index: BTreeMap<AttrRef, usize> =
+            vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut adj = vec![Vec::new(); vertices.len()];
+        for (ci, c) in q.conditions().iter().enumerate() {
+            let l = index[&c.left];
+            let r = index[&c.right];
+            let coloc = c.is_colocation();
+            adj[l].push((r, ci, coloc));
+            adj[r].push((l, ci, coloc));
+        }
+        JoinGraph {
+            vertices,
+            adj,
+            index,
+        }
+    }
+
+    /// The vertices, sorted.
+    pub fn vertices(&self) -> &[AttrRef] {
+        &self.vertices
+    }
+
+    /// Index of a vertex, if present.
+    pub fn vertex_index(&self, v: AttrRef) -> Option<usize> {
+        self.index.get(&v).copied()
+    }
+
+    /// Neighbors of vertex `i` as `(neighbor index, condition index,
+    /// is_colocation)` triples.
+    pub fn neighbors(&self, i: usize) -> &[(usize, usize, bool)] {
+        &self.adj[i]
+    }
+
+    /// Whether the whole graph (colocation + sequence edges) is connected.
+    /// The paper's algorithms assume connected queries; a disconnected query
+    /// contains a hidden cross product.
+    pub fn is_connected(&self) -> bool {
+        if self.vertices.is_empty() {
+            return true;
+        }
+        let reached = self.reachable_from(0, |_coloc| true);
+        reached.iter().all(|&r| r)
+    }
+
+    /// Connected components under an edge filter; returns for each vertex
+    /// the id of its component (ids are dense, ordered by smallest vertex).
+    pub fn component_ids(&self, keep_edge: impl Fn(bool) -> bool + Copy) -> Vec<usize> {
+        let n = self.vertices.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let reached = self.reachable_from(start, keep_edge);
+            for (v, &r) in reached.iter().enumerate() {
+                if r && comp[v] == usize::MAX {
+                    comp[v] = next;
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    fn reachable_from(&self, start: usize, keep_edge: impl Fn(bool) -> bool) -> Vec<bool> {
+        let mut seen = vec![false; self.vertices.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &(w, _, coloc) in &self.adj[v] {
+                if keep_edge(coloc) && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+
+    #[test]
+    fn q0_graph_shape() {
+        let q = JoinQuery::chain(&[Overlaps, Contains, Overlaps]).unwrap();
+        let g = q.join_graph();
+        assert_eq!(g.vertices().len(), 4);
+        assert!(g.is_connected());
+        // Middle vertices have degree 2.
+        assert_eq!(g.neighbors(1).len(), 2);
+        assert_eq!(g.neighbors(0).len(), 1);
+    }
+
+    #[test]
+    fn colocation_filter_splits_hybrid_query() {
+        // Q3: R1 ov R2, R2 ov R3, R2 before R4, R4 ov R5.
+        let q = JoinQuery::new(
+            5,
+            vec![
+                crate::condition::Condition::whole(0, Overlaps, 1),
+                crate::condition::Condition::whole(1, Overlaps, 2),
+                crate::condition::Condition::whole(1, Before, 3),
+                crate::condition::Condition::whole(3, Overlaps, 4),
+            ],
+        )
+        .unwrap();
+        let g = q.join_graph();
+        assert!(g.is_connected());
+        let ids = g.component_ids(|coloc| coloc);
+        // {R1,R2,R3} together, {R4,R5} together, different ids.
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[3]);
+    }
+
+    #[test]
+    fn disconnected_query_detected() {
+        let q = JoinQuery::new(
+            4,
+            vec![
+                crate::condition::Condition::whole(0, Overlaps, 1),
+                crate::condition::Condition::whole(2, Overlaps, 3),
+            ],
+        )
+        .unwrap();
+        assert!(!q.join_graph().is_connected());
+    }
+}

@@ -1,0 +1,35 @@
+//! Interval join query model (paper Sections 5, 8 and 9).
+//!
+//! A [`JoinQuery`] is a conjunction of Allen-predicate conditions over
+//! ⟨relation, attribute⟩ pairs. This crate provides:
+//!
+//! * the query representation, validation and classification into the
+//!   paper's four classes (Colocation / Sequence / Hybrid / General);
+//! * the join graph and its decomposition into *colocation connected
+//!   components* after dropping sequence edges (Sections 8–9);
+//! * the *less-than-order* between relations and between components,
+//!   inferred soundly from an event-order closure (Section 5.1; see
+//!   DESIGN.md §5 for why the closure is needed);
+//! * the *consistent interval-set* and *crossing interval-set* machinery
+//!   that RCCIS is built on (Sections 5.2–5.3);
+//! * a small text parser for queries like
+//!   `"R1 overlaps R2 and R2 contains R3"`.
+
+pub mod classify;
+pub mod components;
+pub mod condition;
+pub mod consistency;
+pub mod crossing;
+pub mod graph;
+pub mod order;
+pub mod parser;
+pub mod query;
+
+pub use classify::QueryClass;
+pub use components::{ComponentId, Components};
+pub use condition::{AttrRef, Condition};
+pub use crossing::crosses_partition;
+pub use graph::JoinGraph;
+pub use order::StartOrder;
+pub use parser::parse_query;
+pub use query::{JoinQuery, QueryError};

@@ -1,0 +1,231 @@
+//! A small text parser for join queries.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query     := condition ( "and" condition )*
+//! condition := operand predicate operand
+//! operand   := IDENT ( "." IDENT )?          // relation or relation.attr
+//! predicate := "overlaps" | "before" | "contains" | … | "<" | ">" | "="
+//! ```
+//!
+//! Relations and attributes are interned in order of first appearance, so
+//! `parse_query("R1 overlaps R2 and R2 contains R3")` yields relations
+//! `R1 → RelId(0)`, `R2 → RelId(1)`, `R3 → RelId(2)`.
+
+use crate::condition::{AttrRef, Condition};
+use crate::query::{JoinQuery, QueryError, RelationMeta};
+use ij_interval::{AllenPredicate, RelId};
+use std::fmt;
+
+/// Error parsing a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Ran out of tokens where more were expected.
+    UnexpectedEnd,
+    /// A token that is not a valid predicate where one was expected.
+    BadPredicate(String),
+    /// Expected `and` between conditions.
+    ExpectedAnd(String),
+    /// The parsed conditions failed query validation.
+    Invalid(QueryError),
+    /// Empty input.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of query"),
+            ParseError::BadPredicate(t) => write!(f, "expected an Allen predicate, got {t:?}"),
+            ParseError::ExpectedAnd(t) => write!(f, "expected 'and', got {t:?}"),
+            ParseError::Invalid(e) => write!(f, "invalid query: {e}"),
+            ParseError::Empty => write!(f, "empty query"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a query string into a validated [`JoinQuery`].
+///
+/// ```
+/// use ij_query::parse_query;
+/// let q = parse_query("R1 overlaps R2 and R2 contains R3").unwrap();
+/// assert_eq!(q.num_relations(), 3);
+/// assert_eq!(q.to_string(), "R1 overlaps R2 and R2 contains R3");
+/// ```
+pub fn parse_query(text: &str) -> Result<JoinQuery, ParseError> {
+    let tokens = tokenize(text);
+    if tokens.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut rels: Vec<RelationMeta> = Vec::new();
+    let mut conditions = Vec::new();
+    let mut pos = 0usize;
+
+    let intern = |rels: &mut Vec<RelationMeta>, name: &str, attr: Option<&str>| -> AttrRef {
+        let rel_idx = match rels.iter().position(|r| r.name == name) {
+            Some(i) => i,
+            None => {
+                rels.push(RelationMeta {
+                    name: name.to_string(),
+                    attr_names: Vec::new(),
+                });
+                rels.len() - 1
+            }
+        };
+        let attr_name = attr.unwrap_or("a0");
+        let meta = &mut rels[rel_idx];
+        let attr_idx = match meta.attr_names.iter().position(|a| a == attr_name) {
+            Some(i) => i,
+            None => {
+                meta.attr_names.push(attr_name.to_string());
+                meta.attr_names.len() - 1
+            }
+        };
+        AttrRef {
+            rel: RelId(rel_idx as u16),
+            attr: attr_idx as u16,
+        }
+    };
+
+    loop {
+        let left_tok = tokens.get(pos).ok_or(ParseError::UnexpectedEnd)?;
+        let pred_tok = tokens.get(pos + 1).ok_or(ParseError::UnexpectedEnd)?;
+        let right_tok = tokens.get(pos + 2).ok_or(ParseError::UnexpectedEnd)?;
+        pos += 3;
+
+        let (lr, la) = split_operand(left_tok);
+        let (rr, ra) = split_operand(right_tok);
+        let pred: AllenPredicate = pred_tok
+            .parse()
+            .map_err(|_| ParseError::BadPredicate(pred_tok.clone()))?;
+        let left = intern(&mut rels, lr, la);
+        let right = intern(&mut rels, rr, ra);
+        conditions.push(Condition::new(left, pred, right));
+
+        match tokens.get(pos) {
+            None => break,
+            Some(t) if t.eq_ignore_ascii_case("and") || t == "," => pos += 1,
+            Some(t) => return Err(ParseError::ExpectedAnd(t.clone())),
+        }
+    }
+
+    JoinQuery::with_relations(rels, conditions).map_err(ParseError::Invalid)
+}
+
+fn split_operand(tok: &str) -> (&str, Option<&str>) {
+    match tok.split_once('.') {
+        Some((r, a)) => (r, Some(a)),
+        None => (tok, None),
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            ',' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(",".to_string());
+            }
+            '<' | '>' | '=' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+
+    #[test]
+    fn parses_q0() {
+        let q = parse_query("R1 overlaps R2 and R2 contains R3 and R3 overlaps R4").unwrap();
+        assert_eq!(q.num_relations(), 4);
+        assert_eq!(
+            q.conditions(),
+            &[
+                Condition::whole(0, Overlaps, 1),
+                Condition::whole(1, Contains, 2),
+                Condition::whole(2, Overlaps, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn relation_ids_in_order_of_appearance() {
+        let q = parse_query("cities overlaps rivers").unwrap();
+        assert_eq!(q.relations()[0].name, "cities");
+        assert_eq!(q.relations()[1].name, "rivers");
+    }
+
+    #[test]
+    fn parses_attributes_and_comparisons() {
+        // Q5 from Section 9.
+        let q =
+            parse_query("R1.I before R2.I and R1.I overlaps R3.I and R1.A = R3.A and R2.B = R3.B")
+                .unwrap();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.relations()[0].attr_names, vec!["I", "A"]);
+        assert_eq!(q.relations()[2].attr_names, vec!["I", "A", "B"]);
+        assert_eq!(q.conditions()[2].pred, Equals);
+        assert_eq!(q.components().len(), 4);
+    }
+
+    #[test]
+    fn comma_separates_conditions() {
+        let q = parse_query("R1 before R2, R2 before R3").unwrap();
+        assert_eq!(q.conditions().len(), 2);
+    }
+
+    #[test]
+    fn angle_comparators_tokenize_without_spaces() {
+        let q = parse_query("R1.A<R2.A").unwrap();
+        assert_eq!(q.conditions()[0].pred, Before);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse_query(""), Err(ParseError::Empty));
+        assert_eq!(parse_query("R1 overlaps"), Err(ParseError::UnexpectedEnd));
+        assert!(matches!(
+            parse_query("R1 sideways R2"),
+            Err(ParseError::BadPredicate(_))
+        ));
+        assert!(matches!(
+            parse_query("R1 before R2 R2 before R3"),
+            Err(ParseError::ExpectedAnd(_))
+        ));
+        assert!(matches!(
+            parse_query("R1 before R1"),
+            Err(ParseError::Invalid(QueryError::SelfCondition { .. }))
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_query("R1 OVERLAPS R2 AND R2 Before R3").unwrap();
+        assert_eq!(q.conditions()[0].pred, Overlaps);
+        assert_eq!(q.conditions()[1].pred, Before);
+    }
+}

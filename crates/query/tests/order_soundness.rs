@@ -1,0 +1,128 @@
+//! Property test: the start-order closure is *sound* — whenever it proves
+//! `s_a <= s_b` (or strictly `<`), every satisfying assignment actually
+//! orders the start points that way. Soundness is what makes the
+//! inconsistent-reducer pruning of the matrix algorithms safe; an unsound
+//! closure would silently drop join outputs.
+
+use ij_interval::{AllenPredicate, Interval};
+use ij_query::{AttrRef, JoinQuery};
+use proptest::prelude::*;
+
+fn iv_strategy() -> impl Strategy<Value = Interval> {
+    (0i64..12, 0i64..8).prop_map(|(s, l)| Interval::new(s, s + l).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    /// Chains of two conditions over three relations: whenever the closure
+    /// claims an order between any pair of relations, a satisfying
+    /// assignment must respect it. The chain's predicates are *derived*
+    /// from the intervals (via `relate`), so every generated case is a
+    /// satisfying assignment and the predicate space is covered naturally.
+    #[test]
+    fn closure_sound_on_three_relation_chains(
+        ivs in proptest::array::uniform3(iv_strategy()),
+    ) {
+        let p1 = AllenPredicate::relate(ivs[0], ivs[1]);
+        let p2 = AllenPredicate::relate(ivs[1], ivs[2]);
+        let q = JoinQuery::chain(&[p1, p2]).unwrap();
+        debug_assert!(q.satisfied_by(&ivs));
+        let order = q.start_order();
+        prop_assert!(!order.contradictory(), "satisfiable query proved contradictory");
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                if a == b {
+                    continue;
+                }
+                let (va, vb) = (AttrRef::whole(a), AttrRef::whole(b));
+                if order.le_start(va, vb) {
+                    prop_assert!(
+                        ivs[a as usize].start() <= ivs[b as usize].start(),
+                        "closure claims s{a} <= s{b} but {} > {} under {q}",
+                        ivs[a as usize], ivs[b as usize],
+                    );
+                }
+                if order.lt_start(va, vb) {
+                    prop_assert!(
+                        ivs[a as usize].start() < ivs[b as usize].start(),
+                        "closure claims s{a} < s{b} strictly under {q}",
+                    );
+                }
+            }
+        }
+    }
+
+    /// Component-level constraints: when `component_constraints` emits
+    /// (j, k), the right-most start of component j's members is <= that of
+    /// component k's in every satisfying assignment.
+    #[test]
+    fn component_constraints_sound(
+        ivs in proptest::array::uniform4(iv_strategy()),
+    ) {
+        let p1 = AllenPredicate::relate(ivs[0], ivs[1]);
+        let p2 = AllenPredicate::relate(ivs[1], ivs[2]);
+        let p3 = AllenPredicate::relate(ivs[2], ivs[3]);
+        let q = JoinQuery::chain(&[p1, p2, p3]).unwrap();
+        debug_assert!(q.satisfied_by(&ivs));
+        let comps = q.components();
+        let order = q.start_order();
+        for (j, k) in order.component_constraints(&comps) {
+            let max_start = |cid: usize| {
+                comps.components[cid]
+                    .vertices
+                    .iter()
+                    .map(|v| ivs[v.rel.idx()].start())
+                    .max()
+                    .unwrap()
+            };
+            prop_assert!(
+                max_start(j) <= max_start(k),
+                "constraint ({j},{k}) violated under {q}: {:?}",
+                ivs
+            );
+        }
+    }
+}
+
+/// Deterministic exhaustive variant on a tiny domain, so the property is
+/// also checked without proptest's sampling (chains of every predicate
+/// pair over all interval triples with endpoints in 0..=4).
+#[test]
+fn closure_sound_exhaustive_small_domain() {
+    let mut ivs = Vec::new();
+    for s in 0..=4i64 {
+        for e in s..=4 {
+            ivs.push(Interval::new(s, e).unwrap());
+        }
+    }
+    for p1 in AllenPredicate::ALL {
+        for p2 in AllenPredicate::ALL {
+            let q = JoinQuery::chain(&[p1, p2]).unwrap();
+            let order = q.start_order();
+            for &a in &ivs {
+                for &b in &ivs {
+                    if !p1.holds(a, b) {
+                        continue;
+                    }
+                    for &c in &ivs {
+                        if !p2.holds(b, c) {
+                            continue;
+                        }
+                        let trio = [a, b, c];
+                        for x in 0..3u16 {
+                            for y in 0..3u16 {
+                                if x != y && order.le_start(AttrRef::whole(x), AttrRef::whole(y)) {
+                                    assert!(
+                                        trio[x as usize].start() <= trio[y as usize].start(),
+                                        "{q}: s{x} <= s{y} violated by {a} {b} {c}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

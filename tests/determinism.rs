@@ -1,0 +1,104 @@
+//! End-to-end determinism and fault tolerance.
+//!
+//! The engine promises byte-identical results regardless of worker-thread
+//! count and across injected reducer failures (Hadoop semantics: reduce
+//! tasks are pure and retried). These tests verify the promise holds
+//! through complete multi-cycle algorithms, not just single jobs.
+
+use ij_core::hybrid::AllSeqMatrix;
+use ij_core::rccis::Rccis;
+use ij_core::{Algorithm, JoinInput, JoinOutput};
+use ij_interval::AllenPredicate::{Before, Overlaps};
+use ij_interval::{Interval, Relation};
+use ij_mapreduce::{ClusterConfig, CostModel, Engine, FaultPlan};
+use ij_query::JoinQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(q: &JoinQuery, seed: u64) -> JoinInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = (0..q.num_relations())
+        .map(|r| {
+            Relation::from_intervals(
+                format!("R{r}"),
+                (0..120).map(|_| {
+                    let s = rng.gen_range(0..400);
+                    Interval::new(s, s + rng.gen_range(0..50)).unwrap()
+                }),
+            )
+        })
+        .collect();
+    JoinInput::bind_owned(q, rels).unwrap()
+}
+
+fn engine_with_threads(threads: usize) -> Engine {
+    Engine::new(ClusterConfig {
+        reducer_slots: 4,
+        worker_threads: threads,
+        cost: CostModel::default(),
+    })
+}
+
+fn run_rccis(engine: &Engine, q: &JoinQuery, input: &JoinInput) -> JoinOutput {
+    Rccis::new(6).run(q, input, engine).unwrap()
+}
+
+#[test]
+fn identical_results_across_thread_counts() {
+    let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+    let input = workload(&q, 1);
+    let base = run_rccis(&engine_with_threads(1), &q, &input);
+    for threads in [2, 3, 8] {
+        let out = run_rccis(&engine_with_threads(threads), &q, &input);
+        assert_eq!(out.tuples, base.tuples, "threads = {threads}");
+        assert_eq!(out.count, base.count);
+        // Metrics that do not depend on wall time must match too.
+        for (a, b) in out.chain.cycles.iter().zip(&base.chain.cycles) {
+            assert_eq!(a.intermediate_pairs, b.intermediate_pairs);
+            assert_eq!(a.reducer_loads, b.reducer_loads);
+        }
+    }
+}
+
+#[test]
+fn identical_results_under_reducer_retries() {
+    let q = JoinQuery::chain(&[Overlaps, Before]).unwrap();
+    let input = workload(&q, 2);
+    let clean_engine = engine_with_threads(4);
+    let clean = AllSeqMatrix::new(4).run(&q, &input, &clean_engine).unwrap();
+
+    // Fail several reducers of both cycles once or twice.
+    let faulty_engine = Engine::new(ClusterConfig {
+        reducer_slots: 4,
+        worker_threads: 4,
+        cost: CostModel::default(),
+    })
+    .with_faults(
+        FaultPlan::new()
+            .fail("component-mark", 0, 1)
+            .fail("component-mark", 2, 2)
+            .fail("asm-join", 1, 1)
+            .fail("asm-join", 5, 2),
+    );
+    let faulty = AllSeqMatrix::new(4)
+        .run(&q, &input, &faulty_engine)
+        .unwrap();
+
+    assert_eq!(faulty.tuples, clean.tuples);
+    assert_eq!(faulty.count, clean.count);
+    // Retries happened and were recorded.
+    let retries: u64 = faulty.chain.cycles.iter().map(|c| c.retries()).sum();
+    assert!(retries >= 3, "expected recorded retries, got {retries}");
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+    let input = workload(&q, 3);
+    let engine = engine_with_threads(8);
+    let a = run_rccis(&engine, &q, &input);
+    let b = run_rccis(&engine, &q, &input);
+    assert_eq!(a.tuples, b.tuples);
+    assert_eq!(a.chain.total_pairs(), b.chain.total_pairs());
+    assert_eq!(a.chain.total_simulated(), b.chain.total_simulated());
+}

@@ -1,0 +1,60 @@
+//! The paper's Figure 2: projecting, splitting and replicating a relation.
+//!
+//! Relation R = {u, v} over a four-partition partitioning: u starts in p1
+//! and overlaps p1 and p2; v starts (and ends) in p2. Projecting R yields
+//! two pairs, splitting u yields two pairs and v one, replicating u yields
+//! four pairs and v three. (The paper's p1..p4 are our indices 0..3.)
+
+use ij_interval::{ops, Interval, MapOp, Partitioning};
+
+#[test]
+fn figure2_project_split_replicate() {
+    let p = Partitioning::equi_width(0, 40, 4).unwrap();
+    let u = Interval::new(3, 16).unwrap();
+    let v = Interval::new(12, 18).unwrap();
+
+    // Project: {(p1, u)} and {(p2, v)}.
+    assert_eq!(ops::project(u, &p), 0);
+    assert_eq!(ops::project(v, &p), 1);
+
+    // Split: u -> {(p1,u),(p2,u)}; v -> {(p2,v)}.
+    assert_eq!(ops::split(u, &p), 0..2);
+    assert_eq!(ops::split(v, &p), 1..2);
+
+    // Replicate: u -> all four partitions; v -> p2, p3, p4.
+    assert_eq!(ops::replicate(u, &p), 0..4);
+    assert_eq!(ops::replicate(v, &p), 1..4);
+
+    // Pair counts as the paper reads them off the figure.
+    assert_eq!(
+        ops::pair_count(MapOp::Project, u, &p) + ops::pair_count(MapOp::Project, v, &p),
+        2
+    );
+    assert_eq!(
+        ops::pair_count(MapOp::Split, u, &p) + ops::pair_count(MapOp::Split, v, &p),
+        3
+    );
+    assert_eq!(
+        ops::pair_count(MapOp::Replicate, u, &p) + ops::pair_count(MapOp::Replicate, v, &p),
+        7
+    );
+}
+
+#[test]
+fn ops_containment_invariants_hold_for_arbitrary_intervals() {
+    // project(u) ∈ split(u) ⊆ replicate(u), and replicate always reaches
+    // the final partition.
+    let p = Partitioning::equi_width(0, 97, 7).unwrap();
+    for s in 0..97 {
+        for len in [0, 1, 5, 40, 96] {
+            let u = Interval::new(s, (s + len).min(96)).unwrap();
+            let proj = ops::project(u, &p);
+            let split = ops::split(u, &p);
+            let repl = ops::replicate(u, &p);
+            assert!(split.contains(&proj));
+            assert_eq!(split.start, repl.start);
+            assert!(split.end <= repl.end);
+            assert_eq!(repl.end, p.len());
+        }
+    }
+}

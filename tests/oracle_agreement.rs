@@ -1,0 +1,232 @@
+//! Cross-algorithm agreement: every algorithm that supports a query class
+//! must produce exactly the oracle's output — no missing tuples, no
+//! duplicates — across randomized workloads.
+//!
+//! This is the repository's strongest end-to-end correctness statement:
+//! the routing of each algorithm (project/split/replicate choices, RCCIS
+//! marking, matrix cells, ownership rules) is validated against an
+//! independent single-node join.
+
+use ij_core::all_matrix::AllMatrix;
+use ij_core::all_replicate::AllReplicate;
+use ij_core::cascade::TwoWayCascade;
+use ij_core::gen_matrix::GenMatrix;
+use ij_core::hybrid::{AllSeqMatrix, Fcts, Fstc, Pasm};
+use ij_core::oracle::oracle_join;
+use ij_core::rccis::Rccis;
+use ij_core::two_way::TwoWayJoin;
+use ij_core::{Algorithm, JoinInput, OutputTuple};
+use ij_interval::AllenPredicate::{self, *};
+use ij_interval::{Interval, Relation};
+use ij_mapreduce::{ClusterConfig, Engine};
+use ij_query::{JoinQuery, QueryClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_input(q: &JoinQuery, seed: u64, n: usize, span: i64, max_len: i64) -> JoinInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = (0..q.num_relations())
+        .map(|r| {
+            Relation::from_intervals(
+                format!("R{}", r + 1),
+                (0..n).map(|_| {
+                    let s = rng.gen_range(0..span);
+                    Interval::new(s, s + rng.gen_range(0..=max_len)).unwrap()
+                }),
+            )
+        })
+        .collect();
+    JoinInput::bind_owned(q, rels).unwrap()
+}
+
+/// All algorithms applicable to a single-attribute query of the given class.
+fn algorithms_for(q: &JoinQuery) -> Vec<Box<dyn Algorithm>> {
+    let mut algs: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(AllReplicate::new(7)),
+        Box::new(TwoWayCascade::new(7)),
+        Box::new(AllMatrix::new(4)),
+        Box::new(AllSeqMatrix::new(4)),
+        Box::new(Pasm::new(4)),
+        Box::new(Fcts::new(5, 4)),
+        Box::new(GenMatrix::new(4)),
+    ];
+    if q.num_relations() == 2 {
+        algs.push(Box::new(TwoWayJoin::new(6)));
+    }
+    match q.class() {
+        QueryClass::Colocation => algs.push(Box::new(Rccis::new(6))),
+        QueryClass::Hybrid => algs.push(Box::new(Fstc::new(5, 4))),
+        _ => {}
+    }
+    algs
+}
+
+fn check_query(q: &JoinQuery, seed: u64, n: usize) {
+    let input = random_input(q, seed, n, 300, 45);
+    let engine = Engine::new(ClusterConfig::with_slots(4));
+    let want: Vec<OutputTuple> = oracle_join(q, &input);
+    for alg in algorithms_for(q) {
+        let got = alg
+            .run(q, &input, &engine)
+            .unwrap_or_else(|e| panic!("{}: {e} on {q}", alg.name()))
+            .assert_no_duplicates();
+        assert_eq!(got, want, "{} disagrees on {q} (seed {seed})", alg.name());
+    }
+}
+
+#[test]
+fn colocation_chains() {
+    for (i, preds) in [
+        vec![Overlaps],
+        vec![Overlaps, Overlaps],
+        vec![Overlaps, Contains, Overlaps],
+        vec![Contains, ContainedBy],
+        vec![Meets, Overlaps],
+        vec![FinishedBy, Starts],
+    ]
+    .iter()
+    .enumerate()
+    {
+        check_query(&JoinQuery::chain(preds).unwrap(), 10 + i as u64, 40);
+    }
+}
+
+#[test]
+fn sequence_chains() {
+    for (i, preds) in [vec![Before], vec![Before, Before], vec![After, Before]]
+        .iter()
+        .enumerate()
+    {
+        check_query(&JoinQuery::chain(preds).unwrap(), 20 + i as u64, 30);
+    }
+}
+
+#[test]
+fn hybrid_chains() {
+    for (i, preds) in [
+        vec![Overlaps, Before],
+        vec![Before, Overlaps],
+        vec![Overlaps, Before, Overlaps],
+        vec![Contains, Before],
+    ]
+    .iter()
+    .enumerate()
+    {
+        check_query(&JoinQuery::chain(preds).unwrap(), 30 + i as u64, 25);
+    }
+}
+
+#[test]
+fn star_and_triangle_shapes() {
+    use ij_query::Condition;
+    // Star: R1 overlaps R2, R1 contains R3.
+    let star = JoinQuery::new(
+        3,
+        vec![
+            Condition::whole(0, Overlaps, 1),
+            Condition::whole(0, Contains, 2),
+        ],
+    )
+    .unwrap();
+    check_query(&star, 41, 35);
+    // Triangle with a sequence edge: R1 ov R2, R2 ov R3, R1 before... a
+    // triangle must stay satisfiable: R1 ov R2, R2 ov R3, R1 contains R3 is
+    // impossible (contains needs e3 < e1 but the chain forces e1 < e2 < e3);
+    // use R1 ov R3 is impossible too... R3 finishes-after relationships are
+    // constrained; pick R1 ov R2, R1 ov R3, R2 starts... keep it simple:
+    let triangle = JoinQuery::new(
+        3,
+        vec![
+            Condition::whole(0, Overlaps, 1),
+            Condition::whole(0, Overlaps, 2),
+            Condition::whole(1, Before, 2),
+        ],
+    )
+    .unwrap();
+    check_query(&triangle, 42, 35);
+}
+
+#[test]
+fn fully_random_queries_agree() {
+    // Random connected chain queries over the full predicate alphabet.
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 0..12 {
+        let len = rng.gen_range(1..=3);
+        let preds: Vec<AllenPredicate> = (0..len)
+            .map(|_| AllenPredicate::ALL[rng.gen_range(0..13)])
+            .collect();
+        let q = JoinQuery::chain(&preds).unwrap();
+        check_query(&q, 500 + round, 20);
+    }
+}
+
+#[test]
+fn degenerate_inputs() {
+    // Empty relations, single tuples, all-identical intervals.
+    let q = JoinQuery::chain(&[Overlaps, Before]).unwrap();
+    let engine = Engine::new(ClusterConfig::with_slots(4));
+
+    let empty = JoinInput::bind_owned(
+        &q,
+        vec![
+            Relation::from_intervals("A", vec![Interval::new(0, 5).unwrap()]),
+            Relation::new("B", 1),
+            Relation::from_intervals("C", vec![Interval::new(9, 12).unwrap()]),
+        ],
+    )
+    .unwrap();
+    for alg in algorithms_for(&q) {
+        let out = alg.run(&q, &empty, &engine).unwrap();
+        assert_eq!(out.count, 0, "{} on empty relation", alg.name());
+    }
+
+    let identical = JoinInput::bind_owned(
+        &q,
+        vec![
+            Relation::from_intervals("A", vec![Interval::new(5, 10).unwrap(); 8]),
+            Relation::from_intervals("B", vec![Interval::new(7, 20).unwrap(); 8]),
+            Relation::from_intervals("C", vec![Interval::new(30, 31).unwrap(); 8]),
+        ],
+    )
+    .unwrap();
+    let want = oracle_join(&q, &identical);
+    assert_eq!(want.len(), 512);
+    for alg in algorithms_for(&q) {
+        assert_eq!(
+            alg.run(&q, &identical, &engine)
+                .unwrap()
+                .assert_no_duplicates(),
+            want,
+            "{} on identical intervals",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn point_interval_inputs() {
+    // Length-0 intervals reduce colocation to equality and sequence to
+    // inequality — the Section 6.3/9 degenerate case.
+    let q = JoinQuery::chain(&[Equals, Before]).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let rels = (0..3)
+        .map(|r| {
+            Relation::from_intervals(
+                format!("R{r}"),
+                (0..40).map(|_| Interval::point(rng.gen_range(0..30))),
+            )
+        })
+        .collect();
+    let input = JoinInput::bind_owned(&q, rels).unwrap();
+    let engine = Engine::new(ClusterConfig::with_slots(4));
+    let want = oracle_join(&q, &input);
+    assert!(!want.is_empty());
+    for alg in algorithms_for(&q) {
+        assert_eq!(
+            alg.run(&q, &input, &engine).unwrap().assert_no_duplicates(),
+            want,
+            "{}",
+            alg.name()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end pipeline test: simulated packet trace → packet trains →
+//! persisted relation file → reload → star self-join — the whole Table 2
+//! data path, at miniature scale.
+
+use ij_core::oracle::oracle_join;
+use ij_core::rccis::Rccis;
+use ij_core::{Algorithm, JoinInput};
+use ij_datagen::profiles::TraceProfile;
+use ij_datagen::trains::{replicate_to, trains_from_packets, trains_relation, PAPER_CUTOFF_US};
+use ij_datagen::{load_relation, save_relation, PacketStreamGen};
+use ij_interval::AllenPredicate::Overlaps;
+use ij_mapreduce::{ClusterConfig, Engine};
+use ij_query::{Condition, JoinQuery};
+use std::sync::Arc;
+
+#[test]
+fn table2_data_path_end_to_end() {
+    // 1. Simulate a small P04 trace and build trains.
+    let profile = TraceProfile::by_name("P04").unwrap();
+    let packets = PacketStreamGen::new(profile.stream_config(0.01, 7)).generate();
+    assert!(!packets.is_empty());
+    let trains = trains_from_packets(&packets, PAPER_CUTOFF_US);
+    assert!(!trains.is_empty());
+    // Trains partition the packets.
+    let total: u64 = trains.iter().map(|t| t.packets as u64).sum();
+    assert_eq!(total, packets.len() as u64);
+
+    // 2. Replicate toward a target size (paper: 3M; here 3x the base).
+    let target = trains.len() * 3;
+    let big = replicate_to(&trains, target, 1000);
+    assert_eq!(big.len(), target);
+
+    // 3. Persist and reload through the HDFS-style line format.
+    let rel = trains_relation("P04", &big);
+    let dir = std::env::temp_dir().join(format!("ij-pipeline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("p04.tsv");
+    save_relation(&path, &rel).unwrap();
+    let reloaded = load_relation(&path).unwrap();
+    assert_eq!(reloaded, rel);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // 4. Star self-join on the reloaded relation, RCCIS vs oracle.
+    let q = JoinQuery::new(
+        3,
+        vec![
+            Condition::whole(0, Overlaps, 1),
+            Condition::whole(1, Overlaps, 2),
+        ],
+    )
+    .unwrap();
+    let input = JoinInput::bind_self_join(&q, Arc::new(reloaded)).unwrap();
+    let engine = Engine::new(ClusterConfig::with_slots(4));
+    let out = Rccis::new(8).run(&q, &input, &engine).unwrap();
+    assert_eq!(out.assert_no_duplicates(), oracle_join(&q, &input));
+    assert!(
+        out.count > 0,
+        "replicated dense trace should produce overlapping triples"
+    );
+}
+
+#[test]
+fn train_durations_are_heavy_tailed() {
+    // The join-relevant structure the simulator must preserve: most trains
+    // are short, a few are long (bursty traffic).
+    let profile = TraceProfile::by_name("P07").unwrap(); // ~25 pkts/train
+    let trains = profile.generate_trains(0.005, 3);
+    assert!(trains.len() > 100);
+    let mut lens: Vec<i64> = trains.iter().map(|t| t.interval().len()).collect();
+    lens.sort_unstable();
+    let median = lens[lens.len() / 2];
+    let p99 = lens[lens.len() * 99 / 100];
+    assert!(
+        p99 > median * 3,
+        "expected a heavy tail: median {median}, p99 {p99}"
+    );
+}

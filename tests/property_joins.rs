@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) over the core invariants.
+//!
+//! * Allen's algebra: exactly one of the thirteen relations holds for any
+//!   interval pair; converses and operand orders are consistent.
+//! * Project/split/replicate containment invariants on arbitrary
+//!   partitionings.
+//! * Distributed-vs-oracle agreement for the flagship algorithms on
+//!   arbitrary data and several query shapes.
+
+use ij_core::all_matrix::AllMatrix;
+use ij_core::gen_matrix::GenMatrix;
+use ij_core::hybrid::AllSeqMatrix;
+use ij_core::oracle::oracle_join;
+use ij_core::rccis::Rccis;
+use ij_core::{Algorithm, JoinInput};
+use ij_interval::AllenPredicate::{self, *};
+use ij_interval::{ops, Interval, Partitioning, Relation};
+use ij_mapreduce::{ClusterConfig, Engine};
+use ij_query::JoinQuery;
+use proptest::prelude::*;
+
+fn interval_strategy(span: i64, max_len: i64) -> impl Strategy<Value = Interval> {
+    (0..span, 0..=max_len).prop_map(|(s, l)| Interval::new(s, s + l).unwrap())
+}
+
+fn relation_strategy(n: usize, span: i64, max_len: i64) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec(interval_strategy(span, max_len), 1..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exactly_one_allen_relation(a in interval_strategy(60, 20), b in interval_strategy(60, 20)) {
+        let holding: Vec<_> = AllenPredicate::ALL.iter().filter(|p| p.holds(a, b)).collect();
+        prop_assert_eq!(holding.len(), 1);
+        prop_assert_eq!(*holding[0], AllenPredicate::relate(a, b));
+    }
+
+    #[test]
+    fn converse_consistency(a in interval_strategy(60, 20), b in interval_strategy(60, 20)) {
+        for p in AllenPredicate::ALL {
+            prop_assert_eq!(p.holds(a, b), p.inverse().holds(b, a));
+        }
+    }
+
+    #[test]
+    fn op_invariants(
+        u in interval_strategy(200, 80),
+        k in 1usize..12,
+    ) {
+        let part = Partitioning::equi_width(0, 280, k).unwrap();
+        let proj = ops::project(u, &part);
+        let split = ops::split(u, &part);
+        let repl = ops::replicate(u, &part);
+        prop_assert!(split.contains(&proj));
+        prop_assert_eq!(split.start, repl.start);
+        prop_assert!(split.end <= repl.end);
+        prop_assert_eq!(repl.end, part.len());
+        // Split covers exactly the partitions u intersects.
+        for i in part.indices() {
+            prop_assert_eq!(split.contains(&i), part.intersects_partition(u, i));
+        }
+    }
+
+    #[test]
+    fn rccis_agrees_with_oracle(
+        r1 in relation_strategy(25, 150, 40),
+        r2 in relation_strategy(25, 150, 40),
+        r3 in relation_strategy(25, 150, 40),
+        k in 2usize..9,
+    ) {
+        let q = JoinQuery::chain(&[Overlaps, Contains]).unwrap();
+        let input = JoinInput::bind_owned(&q, vec![
+            Relation::from_intervals("R1", r1),
+            Relation::from_intervals("R2", r2),
+            Relation::from_intervals("R3", r3),
+        ]).unwrap();
+        let engine = Engine::new(ClusterConfig::with_slots(4));
+        let got = Rccis::new(k).run(&q, &input, &engine).unwrap().assert_no_duplicates();
+        prop_assert_eq!(got, oracle_join(&q, &input));
+    }
+
+    #[test]
+    fn all_matrix_agrees_with_oracle(
+        r1 in relation_strategy(20, 120, 30),
+        r2 in relation_strategy(20, 120, 30),
+        o in 2usize..7,
+    ) {
+        let q = JoinQuery::chain(&[Before]).unwrap();
+        let input = JoinInput::bind_owned(&q, vec![
+            Relation::from_intervals("R1", r1),
+            Relation::from_intervals("R2", r2),
+        ]).unwrap();
+        let engine = Engine::new(ClusterConfig::with_slots(4));
+        let got = AllMatrix::new(o).run(&q, &input, &engine).unwrap().assert_no_duplicates();
+        prop_assert_eq!(got, oracle_join(&q, &input));
+    }
+
+    #[test]
+    fn all_seq_matrix_agrees_with_oracle(
+        r1 in relation_strategy(18, 150, 50),
+        r2 in relation_strategy(18, 150, 50),
+        r3 in relation_strategy(18, 150, 50),
+        o in 2usize..6,
+    ) {
+        let q = JoinQuery::chain(&[Overlaps, Before]).unwrap();
+        let input = JoinInput::bind_owned(&q, vec![
+            Relation::from_intervals("R1", r1),
+            Relation::from_intervals("R2", r2),
+            Relation::from_intervals("R3", r3),
+        ]).unwrap();
+        let engine = Engine::new(ClusterConfig::with_slots(4));
+        let got = AllSeqMatrix::new(o).run(&q, &input, &engine).unwrap().assert_no_duplicates();
+        prop_assert_eq!(got, oracle_join(&q, &input));
+    }
+
+    #[test]
+    fn gen_matrix_agrees_on_two_attribute_queries(
+        rows1 in proptest::collection::vec((0i64..100, 0i64..30, 0i64..6), 1..15),
+        rows2 in proptest::collection::vec((0i64..100, 0i64..30, 0i64..6), 1..15),
+        o in 2usize..6,
+    ) {
+        use ij_query::{AttrRef, Condition, query::RelationMeta};
+        let q = JoinQuery::with_relations(
+            vec![
+                RelationMeta { name: "A".into(), attr_names: vec!["I".into(), "k".into()] },
+                RelationMeta { name: "B".into(), attr_names: vec!["I".into(), "k".into()] },
+            ],
+            vec![
+                Condition::new(AttrRef::new(0, 0), Overlaps, AttrRef::new(1, 0)),
+                Condition::new(AttrRef::new(0, 1), Equals, AttrRef::new(1, 1)),
+            ],
+        ).unwrap();
+        let mk = |rows: Vec<(i64, i64, i64)>, name: &str| Relation::from_rows(
+            name,
+            rows.into_iter().map(|(s, l, k)| vec![
+                Interval::new(s, s + l).unwrap(),
+                Interval::point(k),
+            ]),
+        );
+        let input = JoinInput::bind_owned(&q, vec![mk(rows1, "A"), mk(rows2, "B")]).unwrap();
+        let engine = Engine::new(ClusterConfig::with_slots(4));
+        let got = GenMatrix::new(o).run(&q, &input, &engine).unwrap().assert_no_duplicates();
+        prop_assert_eq!(got, oracle_join(&q, &input));
+    }
+
+    #[test]
+    fn random_predicate_chains_agree(
+        p1 in 0usize..13,
+        p2 in 0usize..13,
+        r1 in relation_strategy(12, 80, 25),
+        r2 in relation_strategy(12, 80, 25),
+        r3 in relation_strategy(12, 80, 25),
+    ) {
+        let preds = [AllenPredicate::ALL[p1], AllenPredicate::ALL[p2]];
+        let q = JoinQuery::chain(&preds).unwrap();
+        let input = JoinInput::bind_owned(&q, vec![
+            Relation::from_intervals("R1", r1),
+            Relation::from_intervals("R2", r2),
+            Relation::from_intervals("R3", r3),
+        ]).unwrap();
+        let engine = Engine::new(ClusterConfig::with_slots(4));
+        // All-Seq-Matrix handles every single-attribute class uniformly.
+        let got = AllSeqMatrix::new(4).run(&q, &input, &engine).unwrap().assert_no_duplicates();
+        prop_assert_eq!(got, oracle_join(&q, &input));
+    }
+}

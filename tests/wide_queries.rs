@@ -1,0 +1,134 @@
+//! Stress tests with wider queries than the paper's examples: 5–6 way
+//! chains, duplicate conditions, and mixed shapes — the marking's
+//! connected-subset enumeration and the matrix dimensionality both grow
+//! here.
+
+use ij_core::all_replicate::AllReplicate;
+use ij_core::hybrid::AllSeqMatrix;
+use ij_core::oracle::oracle_join;
+use ij_core::rccis::Rccis;
+use ij_core::two_way::TwoWayJoin;
+use ij_core::{Algorithm, JoinInput};
+use ij_interval::AllenPredicate::*;
+use ij_interval::{Interval, Relation};
+use ij_mapreduce::{ClusterConfig, Engine};
+use ij_query::{Condition, JoinQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_rels(q: &JoinQuery, seed: u64, n: usize, span: i64, max_len: i64) -> JoinInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = (0..q.num_relations())
+        .map(|r| {
+            Relation::from_intervals(
+                format!("R{}", r + 1),
+                (0..n).map(|_| {
+                    let s = rng.gen_range(0..span);
+                    Interval::new(s, s + rng.gen_range(0..=max_len)).unwrap()
+                }),
+            )
+        })
+        .collect();
+    JoinInput::bind_owned(q, rels).unwrap()
+}
+
+fn engine() -> Engine {
+    Engine::new(ClusterConfig::with_slots(4))
+}
+
+#[test]
+fn five_way_colocation_chain() {
+    let q = JoinQuery::chain(&[Overlaps, Contains, Overlaps, ContainedBy]).unwrap();
+    let input = random_rels(&q, 1, 25, 250, 80);
+    let got = Rccis::new(6)
+        .run(&q, &input, &engine())
+        .unwrap()
+        .assert_no_duplicates();
+    assert_eq!(got, oracle_join(&q, &input));
+}
+
+#[test]
+fn six_way_hybrid_chain() {
+    // Two colocation components bridged by two sequence edges.
+    let q = JoinQuery::chain(&[Overlaps, Before, Overlaps, Before, Overlaps]).unwrap();
+    let input = random_rels(&q, 2, 12, 400, 60);
+    let want = oracle_join(&q, &input);
+    let asm = AllSeqMatrix::new(3)
+        .run(&q, &input, &engine())
+        .unwrap()
+        .assert_no_duplicates();
+    assert_eq!(asm, want);
+    let ar = AllReplicate::new(6)
+        .run(&q, &input, &engine())
+        .unwrap()
+        .assert_no_duplicates();
+    assert_eq!(ar, want);
+}
+
+#[test]
+fn double_star_colocation() {
+    // R3 is the hub of two stars: R1 ov R3, R2 ov R3, R3 contains R4,
+    // R3 contains R5 — non-chain connected subsets in the marking.
+    let q = JoinQuery::new(
+        5,
+        vec![
+            Condition::whole(0, Overlaps, 2),
+            Condition::whole(1, Overlaps, 2),
+            Condition::whole(2, Contains, 3),
+            Condition::whole(2, Contains, 4),
+        ],
+    )
+    .unwrap();
+    let input = random_rels(&q, 3, 20, 250, 90);
+    let got = Rccis::new(6)
+        .run(&q, &input, &engine())
+        .unwrap()
+        .assert_no_duplicates();
+    assert_eq!(got, oracle_join(&q, &input));
+}
+
+#[test]
+fn duplicate_condition_is_idempotent() {
+    // The same predicate stated twice between the same relations must not
+    // change the output (any other predicate pair is unsatisfiable, since
+    // Allen relations are mutually exclusive).
+    let single = JoinQuery::new(2, vec![Condition::whole(0, Overlaps, 1)]).unwrap();
+    let doubled = JoinQuery::new(
+        2,
+        vec![
+            Condition::whole(0, Overlaps, 1),
+            Condition::whole(0, Overlaps, 1),
+        ],
+    )
+    .unwrap();
+    let input = random_rels(&single, 4, 80, 300, 40);
+    let input_doubled = JoinInput::bind(&doubled, input.relations().to_vec()).unwrap();
+    let a = TwoWayJoin::new(5)
+        .run(&single, &input, &engine())
+        .unwrap()
+        .assert_no_duplicates();
+    let b = TwoWayJoin::new(5)
+        .run(&doubled, &input_doubled, &engine())
+        .unwrap()
+        .assert_no_duplicates();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn contradictory_pair_between_same_relations_is_empty() {
+    // Two different Allen predicates between the same pair can never both
+    // hold; every algorithm must return the empty join.
+    let q = JoinQuery::new(
+        2,
+        vec![
+            Condition::whole(0, Overlaps, 1),
+            Condition::whole(0, Contains, 1),
+        ],
+    )
+    .unwrap();
+    let input = random_rels(&q, 5, 60, 200, 40);
+    let out = TwoWayJoin::new(5).run(&q, &input, &engine()).unwrap();
+    assert_eq!(out.count, 0);
+    assert!(oracle_join(&q, &input).is_empty());
+}
