@@ -17,7 +17,7 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin sweep [--scale f]`.
 
-use ij_bench::report::{fmt_sim, Report};
+use ij_bench::report::{fmt_phases, fmt_sim, Report};
 use ij_bench::scale::BenchArgs;
 use ij_bench::scenarios::{assert_same_output, engine, measure};
 use ij_core::all_matrix::AllMatrix;
@@ -123,6 +123,7 @@ fn main() {
             "sim RCCIS",
             "Cd/RCCIS",
             "AllRep/RCCIS",
+            "RCCIS m/s/r",
         ],
     );
     for &n in &[10_000usize, 25_000, 50_000, 100_000] {
@@ -167,6 +168,7 @@ fn main() {
             fmt_sim(rc.simulated).into(),
             (cd.simulated / rc.simulated).into(),
             (ar.simulated / rc.simulated).into(),
+            fmt_phases(rc.map_secs, rc.shuffle_secs, rc.reduce_secs).into(),
         ]);
         eprintln!("  scale row nI={n} done");
     }

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin table1 [--scale f]`.
 
-use ij_bench::report::{fmt_sim, Report};
+use ij_bench::report::{fmt_phases, fmt_sim, Report};
 use ij_bench::scale::BenchArgs;
 use ij_bench::scenarios::{assert_same_output, engine, measure};
 use ij_core::all_replicate::AllReplicate;
@@ -42,6 +42,7 @@ fn main() {
             "pairs AllRep",
             "pairs RCCIS",
             "output",
+            "RCCIS m/s/r",
         ],
     );
     report.note(format!(
@@ -102,10 +103,14 @@ fn main() {
             ar.pairs.into(),
             rc.pairs.into(),
             rc.output.into(),
+            fmt_phases(rc.map_secs, rc.shuffle_secs, rc.reduce_secs).into(),
         ]);
         eprintln!(
-            "  nI={n}: wall 2wCd {:.2}s, AllRep {:.2}s, RCCIS {:.2}s",
-            cd.wall_secs, ar.wall_secs, rc.wall_secs
+            "  nI={n}: wall 2wCd {:.2}s, AllRep {:.2}s, RCCIS {:.2}s (RCCIS map/shuffle/reduce {})",
+            cd.wall_secs,
+            ar.wall_secs,
+            rc.wall_secs,
+            fmt_phases(rc.map_secs, rc.shuffle_secs, rc.reduce_secs)
         );
     }
     report.finish(args.json.as_deref());

@@ -198,6 +198,28 @@ pub fn fmt_sim(v: f64) -> String {
     }
 }
 
+/// Formats a map/shuffle/reduce wall-clock breakdown compactly, e.g.
+/// `"12ms/3.4ms/40ms"` — the per-phase columns added by the partitioned
+/// shuffle work.
+pub fn fmt_phases(map_secs: f64, shuffle_secs: f64, reduce_secs: f64) -> String {
+    format!(
+        "{}/{}/{}",
+        fmt_secs(map_secs),
+        fmt_secs(shuffle_secs),
+        fmt_secs(reduce_secs)
+    )
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}us", s * 1e6)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +257,11 @@ mod tests {
         assert_eq!(fmt_sim(1234.0), "1.2K");
         assert_eq!(fmt_sim(2_500_000.0), "2.50M");
         assert_eq!(fmt_sim(3.2e9), "3.20G");
+    }
+
+    #[test]
+    fn phase_formatting() {
+        assert_eq!(fmt_phases(1.25, 0.0123, 0.000045), "1.25s/12.3ms/45us");
     }
 
     #[test]

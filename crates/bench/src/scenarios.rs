@@ -14,6 +14,12 @@ pub struct Measurement {
     pub simulated: f64,
     /// Real wall-clock seconds of the in-process run.
     pub wall_secs: f64,
+    /// Map-phase wall-clock seconds, summed across cycles.
+    pub map_secs: f64,
+    /// Shuffle (run-merge) wall-clock seconds, summed across cycles.
+    pub shuffle_secs: f64,
+    /// Reduce-phase wall-clock seconds, summed across cycles.
+    pub reduce_secs: f64,
     /// Total intermediate key-value pairs across cycles.
     pub pairs: u64,
     /// Output tuple count.
@@ -53,6 +59,9 @@ pub fn measure(
         algorithm: alg.name(),
         simulated: out.chain.total_simulated(),
         wall_secs,
+        map_secs: out.chain.total_map_wall().as_secs_f64(),
+        shuffle_secs: out.chain.total_shuffle_wall().as_secs_f64(),
+        reduce_secs: out.chain.total_reduce_wall().as_secs_f64(),
         pairs: out.chain.total_pairs(),
         output: out.count,
         replicated: out.stats.replicated_intervals,

@@ -63,6 +63,21 @@ impl JobChain {
         self.cycles.iter().map(|c| c.wall).sum()
     }
 
+    /// Total map-phase wall-clock time across cycles.
+    pub fn total_map_wall(&self) -> Duration {
+        self.cycles.iter().map(|c| c.map_wall).sum()
+    }
+
+    /// Total shuffle (run-merge) wall-clock time across cycles.
+    pub fn total_shuffle_wall(&self) -> Duration {
+        self.cycles.iter().map(|c| c.shuffle_wall).sum()
+    }
+
+    /// Total reduce-phase wall-clock time across cycles.
+    pub fn total_reduce_wall(&self) -> Duration {
+        self.cycles.iter().map(|c| c.reduce_wall).sum()
+    }
+
     /// Output records of the final cycle (the join result size).
     pub fn final_output_records(&self) -> u64 {
         self.cycles.last().map(|c| c.output_records).unwrap_or(0)
@@ -83,6 +98,7 @@ mod tests {
         JobMetrics {
             name: "c".into(),
             map_input_records: pairs,
+            map_input_bytes: pairs * 8,
             intermediate_pairs: pairs,
             shuffle_bytes: pairs * 10,
             distinct_reducers: 1,
@@ -94,7 +110,11 @@ mod tests {
                 attempts: 1,
             }],
             output_records: 1,
+            output_bytes: 8,
             wall: Duration::from_millis(5),
+            map_wall: Duration::from_millis(3),
+            shuffle_wall: Duration::from_millis(1),
+            reduce_wall: Duration::from_millis(1),
             simulated: sim,
         }
     }
@@ -110,6 +130,9 @@ mod tests {
         assert_eq!(chain.total_records_read(), 150);
         assert!((chain.total_simulated() - 4.0).abs() < 1e-9);
         assert_eq!(chain.total_wall(), Duration::from_millis(10));
+        assert_eq!(chain.total_map_wall(), Duration::from_millis(6));
+        assert_eq!(chain.total_shuffle_wall(), Duration::from_millis(2));
+        assert_eq!(chain.total_reduce_wall(), Duration::from_millis(2));
         assert_eq!(chain.final_output_records(), 1);
     }
 

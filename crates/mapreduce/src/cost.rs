@@ -49,6 +49,29 @@ impl Default for CostModel {
     }
 }
 
+/// Simulated time of one cycle, broken down per phase (all in cost units).
+///
+/// [`PhaseCost::total`] reproduces exactly what [`CostModel::simulate`]
+/// returns; the breakdown feeds the per-phase columns in the bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Map-phase time: input records read, spread over the slots.
+    pub map: f64,
+    /// Shuffle time: intermediate pairs communicated, spread over the slots.
+    pub shuffle: f64,
+    /// Reduce-phase makespan under FIFO slot scheduling.
+    pub reduce: f64,
+    /// Fixed per-cycle startup overhead.
+    pub overhead: f64,
+}
+
+impl PhaseCost {
+    /// Total simulated cycle time — the sum of all phases plus overhead.
+    pub fn total(&self) -> f64 {
+        self.overhead + self.map + self.shuffle + self.reduce
+    }
+}
+
 impl CostModel {
     /// Simulated elapsed time of one cycle.
     ///
@@ -66,11 +89,25 @@ impl CostModel {
         reducer_costs: impl IntoIterator<Item = ReducerCost>,
         slots: usize,
     ) -> f64 {
+        self.simulate_phases(map_input_records, intermediate_pairs, reducer_costs, slots)
+            .total()
+    }
+
+    /// Like [`CostModel::simulate`], but returns the per-phase breakdown.
+    pub fn simulate_phases(
+        &self,
+        map_input_records: u64,
+        intermediate_pairs: u64,
+        reducer_costs: impl IntoIterator<Item = ReducerCost>,
+        slots: usize,
+    ) -> PhaseCost {
         let slots = slots.max(1);
-        let map_time = map_input_records as f64 * self.read_cost / slots as f64;
-        let shuffle_time = intermediate_pairs as f64 * self.pair_cost / slots as f64;
-        let reduce_time = self.schedule(reducer_costs, slots);
-        self.cycle_overhead + map_time + shuffle_time + reduce_time
+        PhaseCost {
+            map: map_input_records as f64 * self.read_cost / slots as f64,
+            shuffle: intermediate_pairs as f64 * self.pair_cost / slots as f64,
+            reduce: self.schedule(reducer_costs, slots),
+            overhead: self.cycle_overhead,
+        }
     }
 
     /// Cost charged to a single reducer.
@@ -190,5 +227,16 @@ mod tests {
     fn empty_schedule_is_zero() {
         let m = CostModel::default();
         assert_eq!(m.schedule(std::iter::empty(), 4), 0.0);
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_simulate() {
+        let m = CostModel::default();
+        let costs: Vec<ReducerCost> = (0..10).map(|i| rc(5 + i * 3)).collect();
+        let phases = m.simulate_phases(200, 900, costs.iter().copied(), 4);
+        let total = m.simulate(200, 900, costs.iter().copied(), 4);
+        assert!((phases.total() - total).abs() < 1e-9);
+        assert!(phases.map > 0.0 && phases.shuffle > 0.0 && phases.reduce > 0.0);
+        assert_eq!(phases.overhead, m.cycle_overhead);
     }
 }

@@ -1,10 +1,34 @@
 //! The execution engine: runs one map-reduce cycle.
+//!
+//! The data plane is partitioned end-to-end, mirroring Hadoop's actual
+//! shuffle rather than a single global sort:
+//!
+//! 1. **Map** — each worker maps its input chunk and finishes its output as
+//!    a locally key-sorted run (the map-side sort before the spill).
+//! 2. **Shuffle** — [`merge_sorted_runs`] k-way merges the runs by
+//!    `(key, run index)`, building reducer buckets and accumulating the
+//!    shuffle-volume counters in the same pass. No code path ever sorts the
+//!    full intermediate-pair vector.
+//! 3. **Reduce** — workers steal buckets and reducers take *ownership* of
+//!    their bucket. The fault-free path moves the bucket out without a
+//!    copy; only with a [`FaultPlan`] attached is the bucket cloned per
+//!    attempt, mirroring Hadoop re-reading the shuffled segment on retry.
+//!
+//! Determinism is preserved by construction: ties between runs break on the
+//! run (chunk) index and per-run order is emission order, so the merged
+//! stream equals a stable sort of the concatenated map outputs — identical
+//! for every `worker_threads` count. Each phase is timed separately and
+//! reported through [`JobMetrics`].
 
 use crate::cost::{CostModel, ReducerCost};
 use crate::fault::FaultPlan;
-use crate::job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId};
+use crate::job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
 use crate::metrics::{JobMetrics, ReducerLoad};
 use crate::record::Record;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,7 +118,8 @@ impl Engine {
     ///
     /// # Panics
     /// Panics if an injected fault exceeds the fault plan's `max_attempts`
-    /// (mirroring Hadoop failing the job).
+    /// (mirroring Hadoop failing the job), or re-raises a mapper/reducer
+    /// panic with its original payload.
     pub fn run_job<I, M, O>(
         &self,
         name: &str,
@@ -109,92 +134,131 @@ impl Engine {
     {
         let start = Instant::now();
 
-        // ---- Map phase -----------------------------------------------------
-        let pairs = self.run_map_phase(input, &mapper);
-        let intermediate_pairs = pairs.len() as u64;
-        let shuffle_bytes: u64 = pairs.iter().map(|(_, v)| v.approx_bytes() + 8).sum();
+        // ---- Map phase: per-worker locally sorted runs ---------------------
+        let map_start = Instant::now();
+        let (runs, map_input_bytes) = self.run_map_phase(input, &mapper);
+        let map_wall = map_start.elapsed();
 
-        // ---- Shuffle: group by key, preserving emission order --------------
-        let buckets = shuffle(pairs);
+        // ---- Shuffle: k-way merge of the runs into reducer buckets ---------
+        let shuffle_start = Instant::now();
+        let (buckets, shuffle) = merge_sorted_runs(runs);
+        let shuffle_wall = shuffle_start.elapsed();
 
         // ---- Reduce phase ---------------------------------------------------
+        let reduce_start = Instant::now();
         let (mut results, loads) = self.run_reduce_phase(name, buckets, &reducer);
 
-        // Concatenate outputs in key order.
+        // Concatenate outputs in key order, accounting output volume in the
+        // same pass (the reduce-side write).
         let output_records: u64 = results.iter().map(|(_, o)| o.len() as u64).sum();
         let mut outputs = Vec::with_capacity(output_records as usize);
+        let mut output_bytes = 0u64;
         for (_, o) in &mut results {
+            output_bytes += o.iter().map(Record::approx_bytes).sum::<u64>();
             outputs.append(o);
         }
+        let reduce_wall = reduce_start.elapsed();
 
-        let simulated = self.cfg.cost.simulate(
-            input.len() as u64,
-            intermediate_pairs,
-            loads.iter().map(|l| ReducerCost {
-                pairs_received: l.pairs_received,
-                work: l.work,
-                output: l.output,
-            }),
-            self.cfg.reducer_slots,
-        );
+        let simulated = self
+            .cfg
+            .cost
+            .simulate_phases(
+                input.len() as u64,
+                shuffle.pairs,
+                loads.iter().map(|l| ReducerCost {
+                    pairs_received: l.pairs_received,
+                    work: l.work,
+                    output: l.output,
+                }),
+                self.cfg.reducer_slots,
+            )
+            .total();
 
         let metrics = JobMetrics {
             name: name.to_string(),
             map_input_records: input.len() as u64,
-            intermediate_pairs,
-            shuffle_bytes,
+            map_input_bytes,
+            intermediate_pairs: shuffle.pairs,
+            shuffle_bytes: shuffle.bytes,
             distinct_reducers: loads.len() as u64,
             reducer_loads: loads,
             output_records,
+            output_bytes,
             wall: start.elapsed(),
+            map_wall,
+            shuffle_wall,
+            reduce_wall,
             simulated,
         };
 
         JobOutput { outputs, metrics }
     }
 
-    /// Maps `input` in parallel chunks; pairs are concatenated in chunk
-    /// order so the overall emission order equals sequential execution.
-    fn run_map_phase<I, M>(&self, input: &[I], mapper: &impl Mapper<I, M>) -> Vec<(ReducerId, M)>
+    /// Maps `input` in parallel chunks; each worker returns its run locally
+    /// sorted by key (stable, so per-key emission order survives) plus the
+    /// bytes it read. Runs come back in chunk order, so the downstream merge
+    /// sees the same sequence as sequential execution.
+    fn run_map_phase<I, M>(
+        &self,
+        input: &[I],
+        mapper: &impl Mapper<I, M>,
+    ) -> (Vec<SortedRun<M>>, u64)
     where
         I: Record,
         M: Record,
     {
         let threads = self.cfg.worker_threads.max(1);
         if input.is_empty() {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         let chunk = input.len().div_ceil(threads);
         let chunks: Vec<&[I]> = input.chunks(chunk).collect();
-        let mut per_chunk: Vec<Vec<(ReducerId, M)>> = Vec::with_capacity(chunks.len());
+        let mut runs: Vec<SortedRun<M>> = Vec::with_capacity(chunks.len());
+        let mut input_bytes = 0u64;
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
         crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|c| {
                     scope.spawn(move |_| {
                         let mut em = Emitter::new();
+                        let mut bytes = 0u64;
                         for rec in *c {
+                            bytes += rec.approx_bytes();
                             mapper.map(rec, &mut em);
                         }
-                        em.pairs
+                        (em.into_sorted_run(), bytes)
                     })
                 })
                 .collect();
             for h in handles {
-                per_chunk.push(h.join().expect("map worker panicked"));
+                match h.join() {
+                    Ok((run, bytes)) => {
+                        runs.push(run);
+                        input_bytes += bytes;
+                    }
+                    // Keep draining the remaining handles so the scope can
+                    // close; re-raise the first payload afterwards.
+                    Err(payload) => {
+                        panic_payload.get_or_insert(payload);
+                    }
+                }
             }
         })
-        .expect("map scope panicked");
-        let total: usize = per_chunk.iter().map(Vec::len).sum();
-        let mut pairs = Vec::with_capacity(total);
-        for mut p in per_chunk {
-            pairs.append(&mut p);
+        .unwrap_or_else(|payload| resume_unwind(payload));
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
         }
-        pairs
+        (runs, input_bytes)
     }
 
     /// Runs reducers over the key buckets, work-stealing across worker
     /// threads, with fault-injection retries.
+    ///
+    /// Ownership: without a fault plan each bucket is *moved* into its
+    /// reducer (zero clones); with a plan attached the bucket stays resident
+    /// and every attempt clones it — the in-process analogue of a re-executed
+    /// Hadoop reduce task re-reading its shuffled segment from disk.
     fn run_reduce_phase<M, O>(
         &self,
         job_name: &str,
@@ -205,67 +269,89 @@ impl Engine {
         M: Record,
         O: Record,
     {
+        struct BucketSlot<M> {
+            key: ReducerId,
+            pairs_received: u64,
+            values: parking_lot::Mutex<Option<Vec<M>>>,
+        }
+
         let threads = self.cfg.worker_threads.max(1);
         let next = AtomicUsize::new(0);
         let n = buckets.len();
         let faults = self.faults.clone();
-        type Slot<O> = parking_lot::Mutex<Option<(ReducerId, Vec<O>, ReducerLoad)>>;
-        let results_slots: Vec<Slot<O>> = (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let slots: Vec<BucketSlot<M>> = buckets
+            .into_iter()
+            .map(|(key, vals)| BucketSlot {
+                key,
+                pairs_received: vals.len() as u64,
+                values: parking_lot::Mutex::new(Some(vals)),
+            })
+            .collect();
+        type ResultSlot<O> = parking_lot::Mutex<Option<(ReducerId, Vec<O>, ReducerLoad)>>;
+        let result_slots: Vec<ResultSlot<O>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
 
-        let scope_result = crossbeam::scope(|scope| {
-            for _ in 0..threads.min(n.max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (key, values) = &buckets[i];
-                    let mut attempts = 0u32;
-                    loop {
-                        attempts += 1;
-                        if let Some(plan) = &faults {
-                            if plan.should_fail(job_name, *key) {
-                                assert!(
-                                    attempts < plan.max_attempts(),
-                                    "reducer {key} of job {job_name} exceeded max attempts"
-                                );
-                                continue; // retry (re-clone input below)
-                            }
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(n.max(1)))
+                .map(|_| {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
                         }
-                        // Reducers take ownership of their group (they may
-                        // sort/drain); retry therefore re-clones from the
-                        // immutable bucket, mirroring Hadoop re-reading the
-                        // shuffled segment from disk.
-                        let mut vals = values.clone();
-                        let mut out = Vec::new();
-                        let mut ctx = ReduceCtx::new(*key);
-                        reducer.reduce(&mut ctx, &mut vals, &mut out);
-                        let load = ReducerLoad {
-                            key: *key,
-                            pairs_received: values.len() as u64,
-                            work: ctx.work(),
-                            output: out.len() as u64,
-                            attempts,
-                        };
-                        *results_slots[i].lock() = Some((*key, out, load));
-                        break;
-                    }
-                });
+                        let slot = &slots[i];
+                        let mut attempts = 0u32;
+                        loop {
+                            attempts += 1;
+                            if let Some(plan) = &faults {
+                                if plan.should_fail(job_name, slot.key) {
+                                    assert!(
+                                        attempts < plan.max_attempts(),
+                                        "reducer {} of job {job_name} exceeded max attempts",
+                                        slot.key
+                                    );
+                                    continue; // retry (re-read below)
+                                }
+                            }
+                            let mut vals = if faults.is_some() {
+                                // Retryable run: keep the bucket resident and
+                                // hand the reducer a fresh copy per attempt.
+                                slot.values.lock().clone().expect("bucket consumed twice")
+                            } else {
+                                // Fault-free run: move the bucket out.
+                                slot.values.lock().take().expect("bucket consumed twice")
+                            };
+                            let mut out = Vec::new();
+                            let mut ctx = ReduceCtx::new(slot.key);
+                            reducer.reduce(&mut ctx, &mut vals, &mut out);
+                            let load = ReducerLoad {
+                                key: slot.key,
+                                pairs_received: slot.pairs_received,
+                                work: ctx.work(),
+                                output: out.len() as u64,
+                                attempts,
+                            };
+                            *result_slots[i].lock() = Some((slot.key, out, load));
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    panic_payload.get_or_insert(payload);
+                }
             }
-        });
-        if let Err(payload) = scope_result {
-            // Re-raise the worker's panic with its original message.
-            // crossbeam aggregates unjoined child panics into a Vec.
-            match payload.downcast::<Vec<Box<dyn std::any::Any + Send>>>() {
-                Ok(mut panics) if !panics.is_empty() => std::panic::resume_unwind(panics.remove(0)),
-                Ok(_) => panic!("reduce worker panicked"),
-                Err(other) => std::panic::resume_unwind(other),
-            }
+        })
+        .unwrap_or_else(|payload| resume_unwind(payload));
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
         }
 
         let mut outs = Vec::with_capacity(n);
         let mut loads = Vec::with_capacity(n);
-        for slot in results_slots {
+        for slot in result_slots {
             let (key, o, load) = slot.into_inner().expect("reducer result missing");
             outs.push((key, o));
             loads.push(load);
@@ -274,19 +360,50 @@ impl Engine {
     }
 }
 
-/// Groups intermediate pairs by key. Values within a group keep emission
-/// order; groups come out in ascending key order.
-fn shuffle<M>(mut pairs: Vec<(ReducerId, M)>) -> Vec<(ReducerId, Vec<M>)> {
-    // Stable sort keeps per-key emission order intact.
-    pairs.sort_by_key(|(k, _)| *k);
+/// Shuffle-volume counters accumulated by [`merge_sorted_runs`] — one touch
+/// per pair, in the merge itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShuffleStats {
+    /// Intermediate pairs merged (the paper's communication cost).
+    pub pairs: u64,
+    /// Approximate bytes moved mapper → reducer (value bytes + 8-byte key).
+    pub bytes: u64,
+}
+
+/// K-way merges per-worker key-sorted runs into reducer buckets.
+///
+/// Ties between runs holding the same key break on the run index, so the
+/// merged stream is exactly a *stable* sort of the concatenated runs: keys
+/// ascend, and values within a key keep mapper-emission order. The full
+/// pair vector is never materialized or globally sorted.
+pub fn merge_sorted_runs<M: Record>(
+    runs: Vec<SortedRun<M>>,
+) -> (Vec<(ReducerId, Vec<M>)>, ShuffleStats) {
+    let mut iters: Vec<std::vec::IntoIter<(ReducerId, M)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<(ReducerId, M)>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut heap: BinaryHeap<Reverse<(ReducerId, usize)>> = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(run, head)| head.as_ref().map(|(k, _)| Reverse((*k, run))))
+        .collect();
+
     let mut buckets: Vec<(ReducerId, Vec<M>)> = Vec::new();
-    for (k, v) in pairs {
+    let mut stats = ShuffleStats::default();
+    while let Some(Reverse((key, run))) = heap.pop() {
+        let (_, value) = heads[run].take().expect("heap entry without a head");
+        stats.pairs += 1;
+        stats.bytes += value.approx_bytes() + 8;
         match buckets.last_mut() {
-            Some((last_k, vals)) if *last_k == k => vals.push(v),
-            _ => buckets.push((k, vec![v])),
+            Some((last, vals)) if *last == key => vals.push(value),
+            _ => buckets.push((key, vec![value])),
+        }
+        heads[run] = iters[run].next();
+        if let Some((k, _)) = &heads[run] {
+            heap.push(Reverse((*k, run)));
         }
     }
-    buckets
+    (buckets, stats)
 }
 
 #[cfg(test)]
@@ -394,7 +511,28 @@ mod tests {
         assert_eq!(out.metrics.intermediate_pairs, 6);
         assert_eq!(out.metrics.output_records, 2);
         assert_eq!(out.metrics.shuffle_bytes, 6 * 16);
+        assert_eq!(out.metrics.map_input_bytes, 3 * 8);
+        assert_eq!(out.metrics.output_bytes, 2 * 8);
         assert!(out.metrics.simulated > 0.0);
+    }
+
+    #[test]
+    fn phase_walls_are_recorded_and_bounded_by_total() {
+        let input: Vec<u64> = (0..2000).collect();
+        let out = engine().run_job(
+            "phases",
+            &input,
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 16, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.iter().sum()));
+            },
+        );
+        let m = &out.metrics;
+        let phases = m.map_wall + m.shuffle_wall + m.reduce_wall;
+        assert!(phases <= m.wall, "phases {phases:?} > wall {:?}", m.wall);
+        // The phases cover the whole data plane; only metric assembly is
+        // outside them, so they cannot all be zero for a 2000-record job.
+        assert!(m.wall > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -464,11 +602,113 @@ mod tests {
     }
 
     #[test]
-    fn shuffle_orders_keys_and_preserves_value_order() {
-        let buckets = shuffle(vec![(5u64, 'a'), (1, 'b'), (5, 'c'), (1, 'd'), (3, 'e')]);
+    #[should_panic(expected = "mapper exploded on 7")]
+    fn map_panic_payload_is_reraised() {
+        let _ = engine().run_job(
+            "boom",
+            &(0..32u64).collect::<Vec<_>>(),
+            |&n: &u64, e: &mut Emitter<u64>| {
+                assert!(n != 7, "mapper exploded on {n}");
+                e.emit(0, n);
+            },
+            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reducer exploded on key 3")]
+    fn reduce_panic_payload_is_reraised() {
+        let _ = engine().run_job(
+            "boom",
+            &(0..32u64).collect::<Vec<_>>(),
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                assert!(ctx.key != 3, "reducer exploded on key {}", ctx.key);
+                out.append(vs);
+            },
+        );
+    }
+
+    #[test]
+    fn merge_orders_keys_and_preserves_value_order() {
+        // Two runs as two map workers would produce them (each key-sorted).
+        let (buckets, stats) = merge_sorted_runs(vec![
+            vec![(1u64, 'b'), (5, 'a'), (5, 'c')],
+            vec![(1, 'd'), (3, 'e')],
+        ]);
         assert_eq!(
             buckets,
-            vec![(1, vec!['b', 'd']), (3, vec!['e']), (5, vec!['a', 'c']),]
+            vec![(1, vec!['b', 'd']), (3, vec!['e']), (5, vec!['a', 'c'])]
         );
+        assert_eq!(stats.pairs, 5);
+        assert_eq!(stats.bytes, 5 * (4 + 8)); // char is 4 bytes + 8-byte key
+    }
+
+    #[test]
+    fn merge_breaks_key_ties_by_run_index() {
+        // Every run holds key 0; values must come out in run order.
+        let (buckets, _) = merge_sorted_runs(vec![
+            vec![(0u64, 1u64), (0, 2)],
+            vec![(0, 3)],
+            vec![(0, 4), (0, 5)],
+        ]);
+        assert_eq!(buckets, vec![(0, vec![1, 2, 3, 4, 5])]);
+    }
+
+    #[test]
+    fn merge_handles_empty_runs() {
+        let (buckets, stats) = merge_sorted_runs(vec![Vec::new(), vec![(2u64, 9u64)], Vec::new()]);
+        assert_eq!(buckets, vec![(2, vec![9])]);
+        assert_eq!(stats.pairs, 1);
+        let (empty, stats) = merge_sorted_runs(Vec::<SortedRun<u64>>::new());
+        assert!(empty.is_empty());
+        assert_eq!(stats, ShuffleStats::default());
+    }
+
+    /// Clone-counting value for asserting the zero-clone reduce contract.
+    #[derive(Debug, PartialEq)]
+    struct Tracked(u64);
+
+    static TRACKED_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+    impl Clone for Tracked {
+        fn clone(&self) -> Self {
+            TRACKED_CLONES.fetch_add(1, Ordering::SeqCst);
+            Tracked(self.0)
+        }
+    }
+
+    impl Record for Tracked {}
+
+    #[test]
+    fn reduce_clones_only_under_fault_plan() {
+        // Single test covers both paths so the shared counter sees no
+        // interference from parallel test threads (no other test uses
+        // `Tracked`).
+        let input: Vec<u64> = (0..64).collect();
+        let mapper = |&n: &u64, e: &mut Emitter<Tracked>| e.emit(n % 4, Tracked(n));
+        let reducer = |ctx: &mut ReduceCtx, vs: &mut Vec<Tracked>, out: &mut Vec<(u64, u64)>| {
+            out.push((ctx.key, vs.iter().map(|t| t.0).sum()));
+        };
+
+        let before = TRACKED_CLONES.load(Ordering::SeqCst);
+        let clean = engine().run_job("noclone", &input, mapper, reducer);
+        let clean_clones = TRACKED_CLONES.load(Ordering::SeqCst) - before;
+        assert_eq!(clean_clones, 0, "fault-free path must not clone buckets");
+
+        let before = TRACKED_CLONES.load(Ordering::SeqCst);
+        let faulty = Engine::new(ClusterConfig {
+            reducer_slots: 4,
+            worker_threads: 3,
+            cost: CostModel::default(),
+        })
+        .with_faults(FaultPlan::new().fail("noclone", 1, 1))
+        .run_job("noclone", &input, mapper, reducer);
+        let fault_clones = TRACKED_CLONES.load(Ordering::SeqCst) - before;
+        // One clone per successful attempt: 4 buckets, each reduced once
+        // (failed attempts bail before reading values): 64 values across 4
+        // buckets of 16.
+        assert_eq!(fault_clones, 64, "fault path clones each bucket once");
+        assert_eq!(faulty.outputs, clean.outputs);
     }
 }

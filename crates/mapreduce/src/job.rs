@@ -14,6 +14,11 @@ use crate::record::Record;
 /// matrix into this id (see `ij-core`'s `CellSpace`).
 pub type ReducerId = u64;
 
+/// One map worker's output, stably sorted by reducer key: the in-process
+/// analogue of a Hadoop map task's sorted spill file. Runs from different
+/// workers are combined by [`crate::engine::merge_sorted_runs`].
+pub type SortedRun<M> = Vec<(ReducerId, M)>;
+
 /// Collects the intermediate pairs produced for one input record.
 #[derive(Debug)]
 pub struct Emitter<M> {
@@ -45,6 +50,15 @@ impl<M> Emitter<M> {
     /// Number of pairs emitted so far for the current record.
     pub fn emitted(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// Finishes the worker's map output as a key-sorted run (Hadoop's
+    /// map-side sort before the spill). The sort is stable, so values for
+    /// one key stay in emission order — the engine's determinism contract.
+    pub fn into_sorted_run(self) -> SortedRun<M> {
+        let mut pairs = self.pairs;
+        pairs.sort_by_key(|(k, _)| *k);
+        pairs
     }
 }
 
@@ -140,6 +154,19 @@ mod tests {
         e.emit_to_all(0..3, &"x".to_string());
         assert_eq!(e.emitted(), 3);
         assert!(e.pairs.iter().all(|(_, v)| v == "x"));
+    }
+
+    #[test]
+    fn into_sorted_run_is_stable() {
+        let mut e: Emitter<char> = Emitter::new();
+        e.emit(5, 'a');
+        e.emit(1, 'b');
+        e.emit(5, 'c');
+        e.emit(1, 'd');
+        assert_eq!(
+            e.into_sorted_run(),
+            vec![(1, 'b'), (1, 'd'), (5, 'a'), (5, 'c')]
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //!   dominates a cycle exactly as it would on the real cluster.
 //!
 //! Execution is deterministic: shuffle groups are keyed and value order is
-//! the mappers' emission order, independent of thread count.
+//! the mappers' emission order, independent of thread count. The shuffle is
+//! *partitioned* like Hadoop's: each map worker finishes its output as a
+//! key-sorted run, and [`merge_sorted_runs`] k-way merges the runs into
+//! reducer buckets — no code path sorts the full intermediate-pair vector.
+//! Reducers take ownership of their bucket (cloned per attempt only when a
+//! [`FaultPlan`] is attached), and each phase's wall time and byte volume is
+//! reported separately in [`JobMetrics`].
 //!
 //! ```
 //! use ij_mapreduce::{Engine, ClusterConfig, Emitter, ReduceCtx};
@@ -50,10 +56,10 @@ pub mod metrics;
 pub mod record;
 
 pub use chain::JobChain;
-pub use cost::CostModel;
+pub use cost::{CostModel, PhaseCost};
 pub use dfs::Dfs;
-pub use engine::{ClusterConfig, Engine, JobOutput};
+pub use engine::{merge_sorted_runs, ClusterConfig, Engine, JobOutput, ShuffleStats};
 pub use fault::FaultPlan;
-pub use job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId};
+pub use job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
 pub use metrics::{JobMetrics, ReducerLoad};
 pub use record::Record;

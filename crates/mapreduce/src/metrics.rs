@@ -32,9 +32,12 @@ pub struct JobMetrics {
     pub name: String,
     /// Records read by the map phase.
     pub map_input_records: u64,
+    /// Approximate bytes read by the map phase.
+    pub map_input_bytes: u64,
     /// Total intermediate key-value pairs (the paper's communication cost).
     pub intermediate_pairs: u64,
-    /// Approximate bytes shuffled from mappers to reducers.
+    /// Approximate bytes shuffled from mappers to reducers, accumulated
+    /// inside the run merge (see [`crate::merge_sorted_runs`]).
     pub shuffle_bytes: u64,
     /// Number of distinct reducer keys that received at least one pair.
     pub distinct_reducers: u64,
@@ -42,8 +45,17 @@ pub struct JobMetrics {
     pub reducer_loads: Vec<ReducerLoad>,
     /// Output records across all reducers.
     pub output_records: u64,
+    /// Approximate bytes written by reducers.
+    pub output_bytes: u64,
     /// Real wall-clock time of the in-process execution.
     pub wall: Duration,
+    /// Wall-clock time of the map phase (chunked map + per-worker run sort).
+    pub map_wall: Duration,
+    /// Wall-clock time of the shuffle (k-way merge of sorted runs into
+    /// reducer buckets).
+    pub shuffle_wall: Duration,
+    /// Wall-clock time of the reduce phase (including output concatenation).
+    pub reduce_wall: Duration,
     /// Simulated cluster time (see [`crate::CostModel`]), in cost units.
     pub simulated: f64,
 }
@@ -103,6 +115,7 @@ mod tests {
         JobMetrics {
             name: "t".into(),
             map_input_records: 0,
+            map_input_bytes: 0,
             intermediate_pairs: pairs.iter().sum(),
             shuffle_bytes: 0,
             distinct_reducers: pairs.len() as u64,
@@ -118,7 +131,11 @@ mod tests {
                 })
                 .collect(),
             output_records: 0,
+            output_bytes: 0,
             wall: Duration::ZERO,
+            map_wall: Duration::ZERO,
+            shuffle_wall: Duration::ZERO,
+            reduce_wall: Duration::ZERO,
             simulated: 0.0,
         }
     }
@@ -147,5 +164,23 @@ mod tests {
     fn total_work_sums() {
         let m = metrics_with_loads(&[3, 4]);
         assert_eq!(m.total_work(), 14);
+    }
+
+    #[test]
+    fn phase_walls_serialize() {
+        let mut m = metrics_with_loads(&[1]);
+        m.map_wall = Duration::from_millis(3);
+        m.shuffle_wall = Duration::from_millis(2);
+        m.reduce_wall = Duration::from_millis(1);
+        let json = serde_json::to_string(&m).unwrap();
+        for field in [
+            "map_wall",
+            "shuffle_wall",
+            "reduce_wall",
+            "map_input_bytes",
+            "output_bytes",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 }

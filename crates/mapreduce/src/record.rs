@@ -25,6 +25,7 @@ impl Record for i32 {}
 impl Record for i64 {}
 impl Record for usize {}
 impl Record for bool {}
+impl Record for char {}
 impl Record for () {}
 
 impl Record for String {

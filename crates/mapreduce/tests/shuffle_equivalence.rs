@@ -1,0 +1,102 @@
+//! Property tests for the partitioned shuffle.
+//!
+//! The engine merges per-worker key-sorted runs instead of globally sorting
+//! the full intermediate-pair vector. These properties pin the equivalence:
+//! over arbitrary emit patterns and arbitrary chunkings, the k-way merge
+//! must produce byte-identical buckets to the reference stable-sort-and-
+//! group shuffle, and `run_job` must return identical output regardless of
+//! `worker_threads`.
+
+use ij_mapreduce::{
+    merge_sorted_runs, ClusterConfig, CostModel, Emitter, Engine, ReduceCtx, ReducerId,
+};
+use proptest::prelude::*;
+
+/// Reference shuffle: stable global sort of all pairs, then group by key.
+fn reference_shuffle(pairs: Vec<(ReducerId, u32)>) -> Vec<(ReducerId, Vec<u32>)> {
+    let mut sorted = pairs;
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut buckets: Vec<(ReducerId, Vec<u32>)> = Vec::new();
+    for (k, v) in sorted {
+        match buckets.last_mut() {
+            Some((last, vals)) if *last == k => vals.push(v),
+            _ => buckets.push((k, vec![v])),
+        }
+    }
+    buckets
+}
+
+/// Splits `pairs` at the given fractions and locally stable-sorts each chunk,
+/// imitating what an arbitrary assignment of records to map workers produces.
+fn chunked_runs(pairs: &[(ReducerId, u32)], cut_points: &[usize]) -> Vec<Vec<(ReducerId, u32)>> {
+    let mut cuts: Vec<usize> = cut_points.iter().map(|c| c % (pairs.len() + 1)).collect();
+    cuts.push(0);
+    cuts.push(pairs.len());
+    cuts.sort_unstable();
+    cuts.windows(2)
+        .map(|w| {
+            let mut run = pairs[w[0]..w[1]].to_vec();
+            run.sort_by_key(|(k, _)| *k);
+            run
+        })
+        .collect()
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(ReducerId, u32)>> {
+    // Values are unique-ish tags so equal-key order mix-ups are detected.
+    proptest::collection::vec((0u64..24, 0u32..1_000_000), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn merge_of_sorted_runs_equals_reference_shuffle(
+        pairs in pairs_strategy(),
+        cuts in proptest::collection::vec(0usize..10_000, 0..8),
+    ) {
+        let runs = chunked_runs(&pairs, &cuts);
+        let (buckets, stats) = merge_sorted_runs(runs);
+        prop_assert_eq!(&buckets, &reference_shuffle(pairs.clone()));
+        prop_assert_eq!(stats.pairs, pairs.len() as u64);
+        // 4-byte value + 8-byte key per pair.
+        prop_assert_eq!(stats.bytes, pairs.len() as u64 * 12);
+    }
+
+    #[test]
+    fn run_job_is_identical_across_worker_threads(
+        input in proptest::collection::vec(0u64..5_000, 0..400),
+        fanout in 1u64..4,
+    ) {
+        let run = |threads: usize| {
+            Engine::new(ClusterConfig {
+                reducer_slots: 4,
+                worker_threads: threads,
+                cost: CostModel::default(),
+            })
+            .run_job(
+                "prop-det",
+                &input,
+                move |&n: &u64, e: &mut Emitter<u64>| {
+                    for i in 0..1 + n % fanout {
+                        e.emit((n + i) % 13, n * 10 + i);
+                    }
+                },
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    for v in vs.iter() {
+                        out.push((ctx.key, *v));
+                    }
+                },
+            )
+        };
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let out = run(threads);
+            prop_assert_eq!(&out.outputs, &base.outputs, "threads = {}", threads);
+            // Volume metrics are thread-count independent too.
+            prop_assert_eq!(out.metrics.intermediate_pairs, base.metrics.intermediate_pairs);
+            prop_assert_eq!(out.metrics.shuffle_bytes, base.metrics.shuffle_bytes);
+            prop_assert_eq!(&out.metrics.reducer_loads, &base.metrics.reducer_loads);
+        }
+    }
+}

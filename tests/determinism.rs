@@ -52,12 +52,36 @@ fn identical_results_across_thread_counts() {
         let out = run_rccis(&engine_with_threads(threads), &q, &input);
         assert_eq!(out.tuples, base.tuples, "threads = {threads}");
         assert_eq!(out.count, base.count);
-        // Metrics that do not depend on wall time must match too.
+        // Metrics that do not depend on wall time must match too — the
+        // partitioned shuffle's byte accounting is thread-count invariant.
         for (a, b) in out.chain.cycles.iter().zip(&base.chain.cycles) {
             assert_eq!(a.intermediate_pairs, b.intermediate_pairs);
+            assert_eq!(a.shuffle_bytes, b.shuffle_bytes);
+            assert_eq!(a.map_input_bytes, b.map_input_bytes);
+            assert_eq!(a.output_bytes, b.output_bytes);
             assert_eq!(a.reducer_loads, b.reducer_loads);
         }
     }
+}
+
+#[test]
+fn phase_walls_cover_every_cycle() {
+    let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+    let input = workload(&q, 4);
+    let out = run_rccis(&engine_with_threads(4), &q, &input);
+    for c in &out.chain.cycles {
+        let phases = c.map_wall + c.shuffle_wall + c.reduce_wall;
+        assert!(
+            phases <= c.wall,
+            "cycle {}: phases {phases:?} exceed wall {:?}",
+            c.name,
+            c.wall
+        );
+    }
+    // Chain totals aggregate the per-cycle walls.
+    let total =
+        out.chain.total_map_wall() + out.chain.total_shuffle_wall() + out.chain.total_reduce_wall();
+    assert!(total <= out.chain.total_wall());
 }
 
 #[test]

@@ -1,0 +1,220 @@
+//! Offline stub of `criterion`: same macros and builder surface, reduced
+//! measurement. Each benchmark runs a short warmup then a timed batch and
+//! prints the mean iteration time — no outlier analysis, HTML reports, or
+//! saved baselines. Passing `--test` (as CI smoke runs do via
+//! `cargo bench -- --test`) executes every benchmark body exactly once and
+//! skips timing, so wiring bugs fail fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_MEASURE_ITERS: u64 = 10_000;
+
+/// Benchmark registry/driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(self.test_mode, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not report throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion.test_mode, &full, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion.test_mode, &full, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark, optionally parameterised (`name/param`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds the `name/param` identifier.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`] (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    iters_run: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, or runs it once in `--test` mode.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters_run = 1;
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_MEASURE_ITERS && start.elapsed() < MEASURE_BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters_run = iters;
+    }
+}
+
+fn run_one(test_mode: bool, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        test_mode,
+        iters_run: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+    } else if b.iters_run > 0 {
+        let mean = b.elapsed / b.iters_run as u32;
+        println!("{id:<60} {mean:>12.2?}/iter ({} iters)", b.iters_run);
+    } else {
+        println!("{id:<60} (no iterations run)");
+    }
+}
+
+/// Bundles benchmark functions into a runner invoked by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running each `criterion_group!` runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_in_test_mode_once() {
+        let mut count = 0;
+        let mut b = Bencher {
+            test_mode: true,
+            iters_run: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.iters_run, 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("p", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n + 1));
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

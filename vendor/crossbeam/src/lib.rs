@@ -1,0 +1,92 @@
+//! Offline stub of the `crossbeam` scoped-thread API, backed by
+//! `std::thread::scope`.
+//!
+//! Only the surface this workspace uses is provided: [`scope`], with
+//! [`Scope::spawn`] and [`ScopedJoinHandle::join`]. Panic semantics mirror
+//! crossbeam closely enough for the engine: `join` returns the child's
+//! original panic payload, and a panic escaping the scope closure itself is
+//! captured and returned as the scope `Err`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Spawns scoped threads; handed to the closure passed to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Argument passed to every spawned closure (crossbeam passes the scope so
+/// children can spawn grandchildren; this workspace never does, so the stub
+/// passes an opaque token).
+pub struct ScopeArg(());
+
+/// Owned handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or its panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeArg) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&ScopeArg(()))),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+///
+/// Returns `Ok(r)` with the closure's result, or `Err(payload)` if the
+/// closure (or an unjoined child, via std's scope panic) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_runs_threads_and_collects_results() {
+        let data = [1u64, 2, 3, 4];
+        let sum: u64 = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&n| s.spawn(move |_| n * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 20);
+    }
+
+    #[test]
+    fn join_returns_original_panic_payload() {
+        let res: Result<(), _> = scope(|s| {
+            let h = s.spawn(|_| panic!("boom-{}", 42));
+            let err = h.join().unwrap_err();
+            // rustc may const-fold a fully literal format into &str.
+            let msg = err
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| err.downcast_ref::<&str>().copied())
+                .unwrap();
+            assert_eq!(msg, "boom-42");
+        });
+        assert!(res.is_ok());
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stub of `proptest`: seeded random sampling without shrinking.
+//!
+//! Each `proptest!` test body runs `ProptestConfig::cases` times with a
+//! deterministic per-case [`rand::rngs::StdRng`] (derived from the case
+//! index), sampling every `pat in strategy` binding fresh each iteration.
+//! A failing case panics with the normal assert message but is not shrunk
+//! to a minimal counterexample — rerun with the printed case index to
+//! reproduce.
+//!
+//! Supported surface: integer/float range strategies, tuples up to six
+//! elements, [`strategy::Strategy::prop_map`], [`collection::vec()`],
+//! [`array::uniform3`]/[`array::uniform4`], `prop_assert!`,
+//! `prop_assert_eq!`, and `#![proptest_config(...)]`.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    impl<T: Copy> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: Copy> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident . $idx:tt),+ $(,)?))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Strategy producing fixed-size arrays (see [`crate::array`]).
+    pub struct ArrayStrategy<S, const N: usize> {
+        pub(crate) element: S,
+        pub(crate) _marker: PhantomData<[(); N]>,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    /// Strategy producing variable-length vectors (see [`crate::collection`]).
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min_len: usize,
+        pub(crate) max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.min_len..=self.max_len);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::strategy::{ArrayStrategy, Strategy};
+    use std::marker::PhantomData;
+
+    /// Strategy for `[S::Value; 3]` sampling each element independently.
+    pub fn uniform3<S: Strategy>(element: S) -> ArrayStrategy<S, 3> {
+        ArrayStrategy {
+            element,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Strategy for `[S::Value; 4]` sampling each element independently.
+    pub fn uniform4<S: Strategy>(element: S) -> ArrayStrategy<S, 4> {
+        ArrayStrategy {
+            element,
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec()`].
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            min_len: size.min,
+            max_len: size.max,
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Subset of proptest's runner configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Declares property tests. Each `pat in strategy` argument is sampled
+/// fresh per case; the body runs `cases` times (default 256, override via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` as the first item).
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    // Distinct deterministic stream per case; splitmix64-style
+                    // spread so neighbouring cases aren't correlated.
+                    let mut rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(
+                        case.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x243f_6a88_85a3_08d3),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..10, 5i64..=9).prop_map(|(a, b)| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, (a, b) in pair()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_array_sizes(
+            v in crate::collection::vec(0u8..255, 2..5),
+            arr in crate::array::uniform3(0i64..4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(arr.len(), 3);
+            prop_assert!(arr.iter().all(|&x| (0..4).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn default_config_is_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

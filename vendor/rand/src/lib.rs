@@ -1,0 +1,300 @@
+//! Offline stub of the `rand` 0.8 API surface this workspace uses.
+//!
+//! [`rngs::StdRng`] is a xoshiro256++ generator seeded through splitmix64 —
+//! deterministic and high-quality, but a *different stream* than upstream
+//! rand's ChaCha12-based `StdRng` for the same seed. Everything in this
+//! workspace treats seeded streams as opaque (tests assert properties, not
+//! exact draws), so only in-repo determinism matters.
+//!
+//! Provided: `Rng::{gen, gen_range, gen_bool, fill}`, `SeedableRng::
+//! {seed_from_u64, from_entropy}`, integer/float ranges (half-open and
+//! inclusive), and `rngs::StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly "from the standard distribution" (`rng.gen()`).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform-in-interval sampler, usable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    ///
+    /// # Panics
+    /// Panics if the interval is empty.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                let v = (rng.next_u64() as u128) % span as u128;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+///
+/// Single generic impl per range shape (mirroring upstream rand), so type
+/// inference unifies untyped integer literals with the surrounding context.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The user-facing random-value API, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred [`StandardSample`] type.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_one(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from ambient entropy (time + address).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let stack = &t as *const _ as u64;
+        Self::seed_from_u64(t ^ stack.rotate_left(32))
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the stub's standard generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion of the seed into the full state, per the
+            // xoshiro authors' recommendation.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A fresh entropy-seeded [`rngs::StdRng`].
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+/// Commonly imported names.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let w = rng.gen_range(3u32..=9);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn works_through_unsized_rng_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> i64 {
+            rng.gen_range(0..10)
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = draw(&mut rng);
+        assert!((0..10).contains(&v));
+    }
+}

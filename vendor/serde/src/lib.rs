@@ -1,0 +1,192 @@
+//! Offline stub of `serde`: a single-pass [`Value`] data model.
+//!
+//! [`Serialize`] renders a value into [`Value`], which `serde_json` then
+//! prints. [`Deserialize`] is accepted everywhere (derives compile to
+//! nothing, the trait is blanket-implemented) because nothing in this
+//! workspace deserializes — serialization feeds one-way JSON reports.
+
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: what any serializable value lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key-value map (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// A value that can lower itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker accepted wherever real serde would require `Deserialize`.
+/// Blanket-implemented; the workspace never actually deserializes.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Duration {
+    /// Matches real serde's `Duration` struct encoding.
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(5u32.to_value(), Value::UInt(5));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_string().to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn duration_matches_serde_encoding() {
+        let d = Duration::new(3, 500);
+        assert_eq!(
+            d.to_value(),
+            Value::Object(vec![
+                ("secs".into(), Value::UInt(3)),
+                ("nanos".into(), Value::UInt(500)),
+            ])
+        );
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u64, 2.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::Float(2.0)])])
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stub of `serde_derive`, written directly against `proc_macro`
+//! (no `syn`/`quote` available offline).
+//!
+//! `#[derive(Serialize)]` generates `impl serde::Serialize` lowering the
+//! type into `serde::Value`:
+//!
+//! * named structs → `Value::Object` in field order;
+//! * newtype structs → the inner value (serde's newtype rule);
+//! * tuple structs → `Value::Array`;
+//! * unit enum variants → `Value::Str(variant_name)`;
+//! * data-carrying variants → externally tagged `{"Variant": content}`,
+//!   or the bare content under `#[serde(untagged)]`.
+//!
+//! `#[derive(Deserialize)]` expands to nothing — the `serde` stub
+//! blanket-implements its marker `Deserialize` trait, and nothing in the
+//! workspace deserializes.
+//!
+//! Unsupported shapes (generic types, unions) produce a `compile_error!`
+//! naming the limitation rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` (see crate docs for the mapping).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive stub emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Accepts and erases `#[derive(Deserialize)]` (blanket marker trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attributes; returns true if any carried
+    /// `serde(... untagged ...)`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut untagged = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                let body = g.stream().to_string();
+                if body.starts_with("serde") && body.contains("untagged") {
+                    untagged = true;
+                }
+                self.next();
+            }
+        }
+        untagged
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a top-level `,` (angle-bracket depth aware);
+    /// consumes the comma. Used to skip field types and discriminants.
+    fn skip_past_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle <= 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn cursor_of(stream: TokenStream) -> Cursor {
+    Cursor {
+        tokens: stream.into_iter().collect(),
+        pos: 0,
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let mut c = cursor_of(input);
+    let untagged = c.skip_attrs();
+    c.skip_vis();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stub: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => generate_struct(&name, &mut c),
+        "enum" => generate_enum(&name, untagged, &mut c),
+        other => Err(format!("serde_derive stub: cannot derive for `{other}`")),
+    }
+}
+
+/// Parses `{ field: Ty, ... }` contents into field names.
+fn named_field_names(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = cursor_of(group);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_vis();
+        let fname = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        c.skip_past_comma();
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// Counts the top-level comma-separated fields of a tuple struct/variant.
+fn tuple_field_count(group: TokenStream) -> usize {
+    let mut c = cursor_of(group);
+    let mut count = 0;
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_past_comma();
+    }
+    count
+}
+
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("({k:?}.to_string(), {v})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn generate_struct(name: &str, c: &mut Cursor) -> Result<String, String> {
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_field_names(g.stream())?;
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            object_expr(&pairs)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = tuple_field_count(g.stream());
+            match n {
+                0 => "::serde::Value::Null".to_string(),
+                // serde's newtype rule: transparent.
+                1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            }
+        }
+        other => return Err(format!("unsupported struct body: {other:?}")),
+    };
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    ))
+}
+
+fn generate_enum(name: &str, untagged: bool, c: &mut Cursor) -> Result<String, String> {
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let mut vc = cursor_of(group.stream());
+    let mut arms = Vec::new();
+    while !vc.at_end() {
+        vc.skip_attrs();
+        if vc.at_end() {
+            break;
+        }
+        let vname = match vc.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let arm = match vc.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = tuple_field_count(g.stream());
+                vc.next();
+                let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                let content = if n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                let rhs = if untagged {
+                    content
+                } else {
+                    object_expr(&[(vname.clone(), content)])
+                };
+                format!("{name}::{vname}({}) => {rhs},", binds.join(", "))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_field_names(g.stream())?;
+                vc.next();
+                let pairs: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                    .collect();
+                let content = object_expr(&pairs);
+                let rhs = if untagged {
+                    content
+                } else {
+                    object_expr(&[(vname.clone(), content)])
+                };
+                format!("{name}::{vname} {{ {} }} => {rhs},", fields.join(", "))
+            }
+            _ => {
+                // Unit variant; serde renders the variant name. An untagged
+                // unit variant renders null.
+                let rhs = if untagged {
+                    "::serde::Value::Null".to_string()
+                } else {
+                    format!("::serde::Value::Str({vname:?}.to_string())")
+                };
+                format!("{name}::{vname} => {rhs},")
+            }
+        };
+        arms.push(arm);
+        // Skip an optional discriminant, then the trailing comma.
+        vc.skip_past_comma();
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    ))
+}

@@ -1,0 +1,166 @@
+//! Offline stub of `serde_json`: renders the serde stub's [`Value`] tree as
+//! JSON, compact ([`to_string`]) or pretty with 2-space indents
+//! ([`to_string_pretty`], [`to_writer_pretty`]) — matching real
+//! `serde_json`'s layout for the subset of shapes the workspace emits.
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+use std::io;
+
+/// Error type (I/O is the only failure mode the stub can hit).
+pub type Error = io::Error;
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes to a compact JSON string (`{"k":1}`).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON with 2-space indents.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Writes compact JSON to `writer`.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())
+}
+
+/// Writes pretty JSON to `writer`.
+pub fn to_writer_pretty<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            if !fields.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("t".into())),
+            ("n".into(), Value::UInt(3)),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"id":"t","n":3}"#);
+    }
+
+    #[test]
+    fn pretty_object_has_spaced_colons_and_indent() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("t".into())),
+            ("rows".into(), Value::Array(vec![Value::UInt(1)])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"id\": \"t\""), "{s}");
+        assert!(s.contains("\n  \"rows\": [\n    1\n  ]"), "{s}");
+    }
+
+    #[test]
+    fn floats_and_escapes() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&"a\"b").unwrap(), r#""a\"b""#);
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}
