@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin fig4_load_balance`.
 
-use ij_bench::report::Report;
+use ij_bench::report::{load_histogram, Report};
 use ij_bench::scale::BenchArgs;
 use ij_bench::scenarios::{engine, measure};
 use ij_core::all_matrix::AllMatrix;
@@ -81,4 +81,10 @@ fn main() {
     }
     report.row(vec!["skew".into(), ar.skew.into(), am.skew.into()]);
     report.finish(args.json.as_deref());
+
+    // The figure itself, as ASCII bars (reducer key, pairs, bar).
+    println!("All-Rep per-reducer load:");
+    print!("{}", load_histogram(ar_loads, 50));
+    println!("All-Matrix per-reducer load:");
+    print!("{}", load_histogram(am_loads, 50));
 }

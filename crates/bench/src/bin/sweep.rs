@@ -19,7 +19,7 @@
 
 use ij_bench::report::{fmt_phases, fmt_sim, Report};
 use ij_bench::scale::BenchArgs;
-use ij_bench::scenarios::{assert_same_output, engine, measure};
+use ij_bench::scenarios::{assert_same_output, measure, traced_engine, write_trace};
 use ij_core::all_matrix::AllMatrix;
 use ij_core::all_replicate::AllReplicate;
 use ij_core::cascade::TwoWayCascade;
@@ -34,7 +34,7 @@ fn main() {
         0.03,
         "sweep: ablations (distributions, scale crossover, D1)",
     );
-    let engine = engine(args.slots);
+    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some());
 
     // ---- 1. Distribution sweep on Q1 ---------------------------------------
     let q1 = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
@@ -291,7 +291,17 @@ fn main() {
     let mut rep = Report::new(
         "sweep-skew",
         "RCCIS under zipfian dS: equi-width vs equi-depth boundaries",
-        &["nI", "skew width", "skew depth", "sim width", "sim depth"],
+        &[
+            "nI",
+            "skew width",
+            "skew depth",
+            "gini width",
+            "gini depth",
+            "p99/p50 w",
+            "p99/p50 d",
+            "sim width",
+            "sim depth",
+        ],
     );
     for &base in &[150_000u64, 300_000] {
         let n = args.scale.apply(base);
@@ -328,13 +338,21 @@ fn main() {
             &engine,
         );
         assert_same_output(&[width.clone(), depth.clone()]);
+        // The marking (split) cycle is where boundary placement shows up.
+        let sw = width.out.chain.cycles[0].skew_report(3);
+        let sd = depth.out.chain.cycles[0].skew_report(3);
         rep.row(vec![
             (n as u64).into(),
             width.skew.into(),
             depth.skew.into(),
+            sw.gini.into(),
+            sd.gini.into(),
+            sw.p99_p50_ratio.into(),
+            sd.p99_p50_ratio.into(),
             fmt_sim(width.simulated).into(),
             fmt_sim(depth.simulated).into(),
         ]);
     }
     rep.finish(args.json.as_deref());
+    write_trace(args.trace.as_deref(), &tracer);
 }

@@ -8,9 +8,9 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin table1 [--scale f]`.
 
-use ij_bench::report::{fmt_phases, fmt_sim, Report};
+use ij_bench::report::{fmt_phases, fmt_sim, skew_report_table, skew_row, Report};
 use ij_bench::scale::BenchArgs;
-use ij_bench::scenarios::{assert_same_output, engine, measure};
+use ij_bench::scenarios::{assert_same_output, measure, traced_engine, write_trace};
 use ij_core::all_replicate::AllReplicate;
 use ij_core::cascade::TwoWayCascade;
 use ij_core::rccis::Rccis;
@@ -24,9 +24,14 @@ fn main() {
         0.05,
         "table1: Q1 = R1 ov R2 ov R3, varying nI (paper: 0.5M..1.25M)",
     );
-    let engine = engine(args.slots);
+    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some());
     let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
     let paper_sizes: [u64; 4] = [500_000, 750_000, 1_000_000, 1_250_000];
+    let mut skew_rep = skew_report_table(
+        "table1-skew",
+        "Per-reducer load distribution at the largest size",
+    );
+    let mut counters_note: Vec<String> = Vec::new();
 
     let mut report = Report::new(
         "table1",
@@ -92,6 +97,24 @@ fn main() {
         );
         assert_same_output(&[cd.clone(), ar.clone(), rc.clone()]);
 
+        if i == paper_sizes.len() - 1 {
+            // The skew diagnosis at the largest size: one row per MR cycle.
+            for m in [&cd, &ar, &rc] {
+                for cycle in &m.out.chain.cycles {
+                    let label = format!("{} {}", m.algorithm, cycle.name);
+                    skew_row(&mut skew_rep, &label, &cycle.skew_report(3));
+                }
+                let counters: Vec<String> = m
+                    .counters
+                    .iter()
+                    .map(|(name, v)| format!("{name}={v}"))
+                    .collect();
+                if !counters.is_empty() {
+                    counters_note.push(format!("{}: {}", m.algorithm, counters.join(" ")));
+                }
+            }
+        }
+
         report.row(vec![
             (n as u64).into(),
             fmt_sim(cd.simulated).into(),
@@ -114,4 +137,9 @@ fn main() {
         );
     }
     report.finish(args.json.as_deref());
+    for n in counters_note {
+        skew_rep.note(n);
+    }
+    skew_rep.finish(None);
+    write_trace(args.trace.as_deref(), &tracer);
 }

@@ -1,6 +1,7 @@
 //! Result tables: aligned console output plus machine-readable JSON (used
 //! to regenerate EXPERIMENTS.md).
 
+use ij_mapreduce::{ReducerLoad, SkewReport};
 use serde::Serialize;
 use std::io::Write;
 
@@ -220,6 +221,77 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// The column set matching [`skew_row`] — one row per job/cycle, summarizing
+/// its per-reducer load distribution (the Section 7 / Figure 4 diagnosis).
+pub fn skew_report_table(id: &str, title: &str) -> Report {
+    Report::new(
+        id,
+        title,
+        &[
+            "cycle", "reducers", "max", "mean", "p50", "p99", "max/mean", "p99/p50", "gini",
+            "top keys",
+        ],
+    )
+}
+
+/// Appends one [`SkewReport`] as a row of a [`skew_report_table`].
+pub fn skew_row(report: &mut Report, label: &str, s: &SkewReport) {
+    report.row(vec![
+        label.into(),
+        s.reducers.into(),
+        s.max.into(),
+        s.mean.into(),
+        s.p50.into(),
+        s.p99.into(),
+        s.max_mean_ratio.into(),
+        s.p99_p50_ratio.into(),
+        s.gini.into(),
+        fmt_top_keys(&s.top).into(),
+    ]);
+}
+
+/// Formats the top-k heaviest reducers compactly: `"7:1,200 3:800"`.
+fn fmt_top_keys(top: &[(u64, u64)]) -> String {
+    top.iter()
+        .map(|(k, v)| format!("{k}:{}", group_thousands(*v)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// An ASCII per-reducer load histogram: one bar per reducer (key order),
+/// scaled so the heaviest fills `width` characters. The visual counterpart
+/// of Figure 4's per-reducer bar chart.
+pub fn load_histogram(loads: &[ReducerLoad], width: usize) -> String {
+    let max = loads.iter().map(|l| l.pairs_received).max().unwrap_or(0);
+    let key_w = loads
+        .iter()
+        .map(|l| l.key.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let count_w = loads
+        .iter()
+        .map(|l| group_thousands(l.pairs_received).len())
+        .max()
+        .unwrap_or(1);
+    let mut out = String::new();
+    for l in loads {
+        let bar = if max == 0 {
+            0
+        } else {
+            // At least one mark for any loaded reducer.
+            ((l.pairs_received as f64 / max as f64) * width as f64).round() as usize
+        }
+        .max(usize::from(l.pairs_received > 0));
+        out.push_str(&format!(
+            "   {key:>key_w$}  {count:>count_w$}  {}\n",
+            "#".repeat(bar),
+            key = l.key,
+            count = group_thousands(l.pairs_received),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +334,52 @@ mod tests {
     #[test]
     fn phase_formatting() {
         assert_eq!(fmt_phases(1.25, 0.0123, 0.000045), "1.25s/12.3ms/45us");
+    }
+
+    #[test]
+    fn skew_rows_render() {
+        let loads: Vec<ReducerLoad> = [10u64, 10, 10, 970]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ReducerLoad {
+                key: i as u64,
+                pairs_received: p,
+                work: 0,
+                output: 0,
+                attempts: 1,
+            })
+            .collect();
+        let s = SkewReport::from_loads(&loads, 2);
+        let mut rep = skew_report_table("skew", "demo");
+        skew_row(&mut rep, "join", &s);
+        let rendered = rep.render();
+        assert!(rendered.contains("max/mean"), "{rendered}");
+        assert!(rendered.contains("gini"), "{rendered}");
+        assert!(rendered.contains("3:970"), "top keys listed: {rendered}");
+        assert!(rendered.contains("970"), "{rendered}");
+    }
+
+    #[test]
+    fn histogram_scales_bars() {
+        let loads: Vec<ReducerLoad> = [100u64, 50, 0, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ReducerLoad {
+                key: i as u64,
+                pairs_received: p,
+                work: 0,
+                output: 0,
+                attempts: 1,
+            })
+            .collect();
+        let h = load_histogram(&loads, 20);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains(&"#".repeat(20)), "{h}");
+        assert!(lines[1].contains(&"#".repeat(10)), "{h}");
+        assert!(!lines[2].contains('#'), "zero load draws no bar: {h}");
+        assert!(lines[3].contains('#'), "tiny load still visible: {h}");
+        assert!(load_histogram(&[], 10).is_empty());
     }
 
     #[test]

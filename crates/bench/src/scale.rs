@@ -31,7 +31,7 @@ impl fmt::Display for Scale {
 /// Minimal CLI argument parser shared by the bench binaries.
 ///
 /// Recognized flags: `--scale <f64>`, `--seed <u64>`, `--json <path>`,
-/// `--slots <usize>`, `--help`.
+/// `--slots <usize>`, `--trace <path>`, `--help`.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Workload scale relative to the paper.
@@ -42,6 +42,9 @@ pub struct BenchArgs {
     pub json: Option<String>,
     /// Reduce slots of the simulated cluster (paper: 16).
     pub slots: usize,
+    /// Where to write a Chrome trace-event JSON of every job run (open in
+    /// `chrome://tracing` or Perfetto), if anywhere.
+    pub trace: Option<String>,
 }
 
 impl BenchArgs {
@@ -53,7 +56,7 @@ impl BenchArgs {
                 eprintln!("error: {e}\n");
                 eprintln!("{about}");
                 eprintln!(
-                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)"
+                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)"
                 );
                 std::process::exit(2);
             })
@@ -70,6 +73,7 @@ impl BenchArgs {
             seed: 42,
             json: None,
             slots: 16,
+            trace: None,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -91,6 +95,7 @@ impl BenchArgs {
                         .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--json" => out.json = Some(value("--json")?),
+                "--trace" => out.trace = Some(value("--trace")?),
                 "--slots" => {
                     out.slots = value("--slots")?
                         .parse()
@@ -119,13 +124,15 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert_eq!(a.slots, 16);
         assert!(a.json.is_none());
+        assert!(a.trace.is_none());
     }
 
     #[test]
     fn parses_flags() {
         let a = BenchArgs::parse_from(
             sv(&[
-                "--scale", "0.5", "--seed", "7", "--json", "out.json", "--slots", "4",
+                "--scale", "0.5", "--seed", "7", "--json", "out.json", "--slots", "4", "--trace",
+                "t.json",
             ]),
             0.05,
             "t",
@@ -135,6 +142,7 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.json.as_deref(), Some("out.json"));
         assert_eq!(a.slots, 4);
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
     }
 
     #[test]

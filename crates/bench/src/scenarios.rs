@@ -1,8 +1,9 @@
 //! Shared measurement plumbing for the per-table/figure binaries.
 
 use ij_core::{Algorithm, JoinInput, JoinOutput};
-use ij_mapreduce::{ClusterConfig, Engine};
+use ij_mapreduce::{ClusterConfig, Counters, Engine, Tracer};
 use ij_query::JoinQuery;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One algorithm measurement.
@@ -30,6 +31,9 @@ pub struct Measurement {
     pub skew: f64,
     /// Consistent cells used / total, when the algorithm is matrix-based.
     pub consistent_cells: Option<(u64, u64)>,
+    /// User counters summed across the algorithm's cycles (replicas,
+    /// crossing intervals, candidate vs emitted pairs, …).
+    pub counters: Counters,
     /// The raw output (for cross-checking between algorithms).
     pub out: JoinOutput,
 }
@@ -37,6 +41,31 @@ pub struct Measurement {
 /// Builds the simulated cluster (the paper runs 16 reduce processes).
 pub fn engine(slots: usize) -> Engine {
     Engine::new(ClusterConfig::with_slots(slots))
+}
+
+/// Builds the simulated cluster, attaching a [`Tracer`] when `traced` —
+/// the `--trace <path>` path of the bench binaries. The tracer records
+/// every job run against the engine; dump it with [`write_trace`].
+pub fn traced_engine(slots: usize, traced: bool) -> (Engine, Option<Arc<Tracer>>) {
+    let engine = Engine::new(ClusterConfig::with_slots(slots));
+    if traced {
+        let tracer = Arc::new(Tracer::new());
+        (engine.with_tracer(tracer.clone()), Some(tracer))
+    } else {
+        (engine, None)
+    }
+}
+
+/// Writes the accumulated Chrome trace to `path` (no-op without a tracer).
+pub fn write_trace(path: Option<&str>, tracer: &Option<Arc<Tracer>>) {
+    if let (Some(path), Some(t)) = (path, tracer) {
+        t.write_chrome_trace(path)
+            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+        eprintln!(
+            "(wrote {path}: {} spans — open in chrome://tracing or ui.perfetto.dev)",
+            t.len()
+        );
+    }
 }
 
 /// Runs one algorithm and collects the table-relevant numbers.
@@ -67,6 +96,7 @@ pub fn measure(
         replicated: out.stats.replicated_intervals,
         skew: out.chain.worst_skew(),
         consistent_cells: out.stats.consistent_cells,
+        counters: out.chain.total_counters(),
         out,
     }
 }
@@ -113,5 +143,40 @@ mod tests {
         assert_eq!(m.output, 1);
         assert!(m.simulated > 0.0);
         assert_same_output(&[m.clone(), m]);
+    }
+
+    #[test]
+    fn traced_engine_records_jobs_and_writes_chrome_json() {
+        let (e, tracer) = traced_engine(4, true);
+        assert!(tracer.is_some());
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                Relation::from_intervals("A", vec![Interval::new(0, 10).unwrap()]),
+                Relation::from_intervals("B", vec![Interval::new(5, 15).unwrap()]),
+            ],
+        )
+        .unwrap();
+        let alg = TwoWayJoin {
+            partitions: 4,
+            mode: OutputMode::Count,
+        };
+        let m = measure(&alg, &q, &input, &e);
+        assert_eq!(m.output, 1);
+        let t = tracer.as_ref().unwrap();
+        assert!(
+            !t.is_empty(),
+            "jobs run against a traced engine leave spans"
+        );
+        let path = std::env::temp_dir().join("ij_bench_trace_test.json");
+        write_trace(path.to_str(), &tracer);
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("{\"traceEvents\":["));
+        let _ = std::fs::remove_file(&path);
+
+        let (_, no_tracer) = traced_engine(4, false);
+        assert!(no_tracer.is_none());
+        write_trace(None, &no_tracer); // no-op must not panic
     }
 }

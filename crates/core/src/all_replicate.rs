@@ -89,13 +89,21 @@ impl Algorithm for AllReplicate {
             {
                 let partc = partc.clone();
                 move |rec: &IvRec, em: &mut Emitter<IvRec>| {
-                    let op = if Some(rec.rel.idx()) == projected {
-                        ij_interval::MapOp::Project
-                    } else {
+                    let replicate = Some(rec.rel.idx()) != projected;
+                    let op = if replicate {
                         ij_interval::MapOp::Replicate
+                    } else {
+                        ij_interval::MapOp::Project
                     };
+                    let before = em.emitted();
                     for p in ops::apply(op, rec.iv, &partc) {
                         em.emit(p as u64, *rec);
+                    }
+                    let copies = (em.emitted() - before) as u64;
+                    if replicate {
+                        em.inc("allrep.replica_pairs", copies);
+                    } else {
+                        em.inc("allrep.projected_pairs", copies);
                     }
                 }
             },
@@ -122,6 +130,8 @@ impl Algorithm for AllReplicate {
                     }
                 });
                 ctx.add_work(work);
+                ctx.inc("join.candidates", work);
+                ctx.inc("join.emitted", count);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }
@@ -251,6 +261,34 @@ mod tests {
         let out = AllReplicate::new(6).run(&q, &input, &engine).unwrap();
         // R3 is projected; R1 and R2 are replicated entirely.
         assert_eq!(out.stats.replicated_intervals, Some(110));
+    }
+
+    #[test]
+    fn counters_count_replica_and_join_pairs() {
+        let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                random_rel(&mut rng, 50, 200, 20),
+                random_rel(&mut rng, 60, 200, 20),
+                random_rel(&mut rng, 70, 200, 20),
+            ],
+        )
+        .unwrap();
+        let engine = Engine::new(ClusterConfig::with_slots(4));
+        let out = AllReplicate::new(6).run(&q, &input, &engine).unwrap();
+        let c = out.chain.total_counters();
+        // R1+R2 replicate (110 intervals, >= 1 copy each); R3 projects one
+        // pair per interval.
+        assert!(c.get("allrep.replica_pairs") >= 110);
+        assert_eq!(c.get("allrep.projected_pairs"), 70);
+        assert!(c.get("join.candidates") >= c.get("join.emitted"));
+        // Counters and shuffle metrics agree on total communication.
+        assert_eq!(
+            c.get("allrep.replica_pairs") + c.get("allrep.projected_pairs"),
+            out.chain.total_pairs()
+        );
     }
 
     #[test]

@@ -255,8 +255,14 @@ pub fn run_stage(
                     CascRec::Comp(c) => (*comp_op, c.ivs[comp_slot]),
                     CascRec::Base { iv, .. } => (*base_op, *iv),
                 };
+                let before = em.emitted();
                 for p in ops::apply(op, iv, part) {
                     em.emit(p as u64, rec.clone());
+                }
+                let copies = (em.emitted() - before) as u64;
+                match rec {
+                    CascRec::Comp(_) => em.inc("cascade.comp_pairs", copies),
+                    CascRec::Base { .. } => em.inc("cascade.base_pairs", copies),
                 }
             }
             Routing::Matrix { part, space } => {
@@ -265,7 +271,12 @@ pub fn run_stage(
                     CascRec::Base { iv, .. } => (1, *iv),
                 };
                 let qidx = part.index_of(iv.start());
-                em.emit_to_all(space.cells_eq(dim, qidx).iter().copied(), rec);
+                let cells = space.cells_eq(dim, qidx);
+                em.emit_to_all(cells.iter().copied(), rec);
+                match rec {
+                    CascRec::Comp(_) => em.inc("cascade.comp_pairs", cells.len() as u64),
+                    CascRec::Base { .. } => em.inc("cascade.base_pairs", cells.len() as u64),
+                }
             }
         },
         |ctx: &mut ReduceCtx, values: &mut Vec<CascRec>, out: &mut Vec<OutRec>| {
@@ -317,6 +328,8 @@ pub fn run_stage(
                 }
             }
             ctx.add_work(work);
+            ctx.inc("join.candidates", work);
+            ctx.inc("join.emitted", count);
             if finalize == Some(OutputMode::Count) && count > 0 {
                 out.push(OutRec::Count(count));
             }
@@ -523,6 +536,25 @@ mod tests {
         let input = JoinInput::bind_owned(&q, rels).unwrap();
         let out = TwoWayCascade::new(4).run(&q, &input, &engine()).unwrap();
         assert_eq!(out.chain.num_cycles(), 3);
+    }
+
+    #[test]
+    fn counters_attribute_pairs_per_stage() {
+        let q = JoinQuery::chain(&[Overlaps, Before]).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let rels = (0..3).map(|_| random_rel(&mut rng, 40, 300, 40)).collect();
+        let input = JoinInput::bind_owned(&q, rels).unwrap();
+        let out = TwoWayCascade::new(6).run(&q, &input, &engine()).unwrap();
+        // Every stage shuffles both composites and base tuples, and the two
+        // counter classes account for its whole communication volume.
+        for cycle in &out.chain.cycles {
+            let comp = cycle.counters.get("cascade.comp_pairs");
+            let base = cycle.counters.get("cascade.base_pairs");
+            assert!(base > 0, "stage {} shuffled no base tuples", cycle.name);
+            assert_eq!(comp + base, cycle.intermediate_pairs, "{}", cycle.name);
+        }
+        let c = out.chain.total_counters();
+        assert!(c.get("join.candidates") >= c.get("join.emitted"));
     }
 
     #[test]

@@ -95,11 +95,13 @@ impl Algorithm for OneBucketTheta {
                     for col in 0..cols {
                         em.emit(row * cols + col, *rec);
                     }
+                    em.inc("onebucket.row_copies", cols);
                 } else {
                     let col = h % cols;
                     for row in 0..rows {
                         em.emit(row * cols + col, *rec);
                     }
+                    em.inc("onebucket.col_copies", rows);
                 }
             },
             move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
@@ -121,6 +123,8 @@ impl Algorithm for OneBucketTheta {
                     },
                 );
                 ctx.add_work(work);
+                ctx.inc("join.candidates", work);
+                ctx.inc("join.emitted", count);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }
@@ -234,6 +238,33 @@ mod tests {
             obt.chain.total_pairs(),
             am.chain.total_pairs()
         );
+    }
+
+    #[test]
+    fn counters_count_matrix_copies() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                random_rel(&mut rng, 50, 300, 40),
+                random_rel(&mut rng, 70, 300, 40),
+            ],
+        )
+        .unwrap();
+        let out = OneBucketTheta::new(3, 4)
+            .run(&q, &input, &engine())
+            .unwrap();
+        let c = out.chain.total_counters();
+        // Every left tuple is copied to all 4 columns, every right tuple to
+        // all 3 rows — exactly, by construction.
+        assert_eq!(c.get("onebucket.row_copies"), 50 * 4);
+        assert_eq!(c.get("onebucket.col_copies"), 70 * 3);
+        assert_eq!(
+            c.get("onebucket.row_copies") + c.get("onebucket.col_copies"),
+            out.chain.total_pairs()
+        );
+        assert!(c.get("join.candidates") >= c.get("join.emitted"));
     }
 
     #[test]

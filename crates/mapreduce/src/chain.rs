@@ -5,7 +5,7 @@
 //! *total* communication, so every algorithm in `ij-core` returns a
 //! [`JobChain`] next to its output.
 
-use crate::metrics::JobMetrics;
+use crate::metrics::{Counters, JobMetrics};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -87,6 +87,21 @@ impl JobChain {
     pub fn worst_skew(&self) -> f64 {
         self.cycles.iter().map(JobMetrics::skew).fold(1.0, f64::max)
     }
+
+    /// User counters summed across all cycles (Hadoop's job-group counter
+    /// rollup): per-name u64 sums, so the merge is order-independent.
+    pub fn total_counters(&self) -> Counters {
+        let mut total = Counters::new();
+        for c in &self.cycles {
+            total.merge(&c.counters);
+        }
+        total
+    }
+
+    /// One counter's total across cycles (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.cycles.iter().map(|c| c.counters.get(name)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +131,7 @@ mod tests {
             shuffle_wall: Duration::from_millis(1),
             reduce_wall: Duration::from_millis(1),
             simulated: sim,
+            counters: Counters::default(),
         }
     }
 
@@ -142,6 +158,25 @@ mod tests {
         assert_eq!(chain.total_pairs(), 0);
         assert_eq!(chain.final_output_records(), 0);
         assert_eq!(chain.worst_skew(), 1.0);
+    }
+
+    #[test]
+    fn counters_roll_up_across_cycles() {
+        let mut chain = JobChain::new();
+        let mut a = cycle(10, 1.0);
+        a.counters.inc("replicas", 4);
+        a.counters.inc("crossing", 2);
+        let mut b = cycle(20, 1.0);
+        b.counters.inc("replicas", 6);
+        b.counters.inc("emitted", 9);
+        chain.push(a);
+        chain.push(b);
+        let total = chain.total_counters();
+        assert_eq!(total.get("replicas"), 10);
+        assert_eq!(total.get("crossing"), 2);
+        assert_eq!(total.get("emitted"), 9);
+        assert_eq!(chain.counter("replicas"), 10);
+        assert_eq!(chain.counter("absent"), 0);
     }
 
     #[test]

@@ -23,8 +23,9 @@
 use crate::cost::{CostModel, ReducerCost};
 use crate::fault::FaultPlan;
 use crate::job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
-use crate::metrics::{JobMetrics, ReducerLoad};
+use crate::metrics::{Counters, JobMetrics, ReducerLoad};
 use crate::record::Record;
+use crate::trace::{SpanKind, TraceEvent, Tracer};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -81,24 +82,47 @@ pub struct JobOutput<O> {
     pub metrics: JobMetrics,
 }
 
-/// The MapReduce engine. Cheap to construct; holds only configuration and an
-/// optional fault plan.
+/// What the reduce phase hands back to `run_job`: per-key outputs (key
+/// order), per-reducer loads, and the merged user counters.
+type ReducePhaseResult<O> = (Vec<(ReducerId, Vec<O>)>, Vec<ReducerLoad>, Counters);
+
+/// The MapReduce engine. Cheap to construct; holds only configuration, an
+/// optional fault plan and an optional tracer.
 #[derive(Debug, Default)]
 pub struct Engine {
     cfg: ClusterConfig,
     faults: Option<Arc<FaultPlan>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Engine {
     /// Creates an engine over the given cluster configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
-        Engine { cfg, faults: None }
+        Engine {
+            cfg,
+            faults: None,
+            tracer: None,
+        }
     }
 
     /// Attaches a fault-injection plan (see [`FaultPlan`]).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(plan));
         self
+    }
+
+    /// Attaches a [`Tracer`]: every subsequent job records job / phase /
+    /// per-worker task / per-reducer spans into it (see [`crate::trace`]).
+    /// Without a tracer the engine records nothing and pays only a
+    /// per-phase `Option` check.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The engine's configuration.
@@ -133,20 +157,40 @@ impl Engine {
         O: Record,
     {
         let start = Instant::now();
+        let tracer = self.tracer.as_deref();
+        let job_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
 
         // ---- Map phase: per-worker locally sorted runs ---------------------
         let map_start = Instant::now();
-        let (runs, map_input_bytes) = self.run_map_phase(input, &mapper);
+        let map_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
+        let (runs, map_input_bytes, mut counters) = self.run_map_phase(input, &mapper);
+        if let Some(t) = tracer {
+            t.record(
+                TraceEvent::span(SpanKind::Phase, "map", 0, map_t0, t.now_us())
+                    .arg("records", input.len() as u64),
+            );
+        }
         let map_wall = map_start.elapsed();
 
         // ---- Shuffle: k-way merge of the runs into reducer buckets ---------
         let shuffle_start = Instant::now();
+        let shuffle_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
         let (buckets, shuffle) = merge_sorted_runs(runs);
+        if let Some(t) = tracer {
+            t.record(
+                TraceEvent::span(SpanKind::Phase, "shuffle", 0, shuffle_t0, t.now_us())
+                    .arg("pairs", shuffle.pairs)
+                    .arg("bytes", shuffle.bytes)
+                    .arg("reducers", buckets.len() as u64),
+            );
+        }
         let shuffle_wall = shuffle_start.elapsed();
 
         // ---- Reduce phase ---------------------------------------------------
         let reduce_start = Instant::now();
-        let (mut results, loads) = self.run_reduce_phase(name, buckets, &reducer);
+        let reduce_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
+        let (mut results, loads, reduce_counters) = self.run_reduce_phase(name, buckets, &reducer);
+        counters.merge(&reduce_counters);
 
         // Concatenate outputs in key order, accounting output volume in the
         // same pass (the reduce-side write).
@@ -156,6 +200,19 @@ impl Engine {
         for (_, o) in &mut results {
             output_bytes += o.iter().map(Record::approx_bytes).sum::<u64>();
             outputs.append(o);
+        }
+        if let Some(t) = tracer {
+            t.record(
+                TraceEvent::span(SpanKind::Phase, "reduce", 0, reduce_t0, t.now_us())
+                    .arg("reducers", loads.len() as u64)
+                    .arg("outputs", output_records),
+            );
+            t.record(
+                TraceEvent::span(SpanKind::Job, name, 0, job_t0, t.now_us())
+                    .arg("records", input.len() as u64)
+                    .arg("pairs", shuffle.pairs)
+                    .arg("outputs", output_records),
+            );
         }
         let reduce_wall = reduce_start.elapsed();
 
@@ -189,53 +246,70 @@ impl Engine {
             shuffle_wall,
             reduce_wall,
             simulated,
+            counters,
         };
 
         JobOutput { outputs, metrics }
     }
 
     /// Maps `input` in parallel chunks; each worker returns its run locally
-    /// sorted by key (stable, so per-key emission order survives) plus the
-    /// bytes it read. Runs come back in chunk order, so the downstream merge
-    /// sees the same sequence as sequential execution.
+    /// sorted by key (stable, so per-key emission order survives), the
+    /// bytes it read and its accumulated user counters. Runs, counters and
+    /// per-task trace events all come back in chunk order, so the
+    /// downstream merge — and the trace — see the same sequence as
+    /// sequential execution.
     fn run_map_phase<I, M>(
         &self,
         input: &[I],
         mapper: &impl Mapper<I, M>,
-    ) -> (Vec<SortedRun<M>>, u64)
+    ) -> (Vec<SortedRun<M>>, u64, Counters)
     where
         I: Record,
         M: Record,
     {
         let threads = self.cfg.worker_threads.max(1);
         if input.is_empty() {
-            return (Vec::new(), 0);
+            return (Vec::new(), 0, Counters::new());
         }
         let chunk = input.len().div_ceil(threads);
         let chunks: Vec<&[I]> = input.chunks(chunk).collect();
+        let tracer = self.tracer.as_deref();
         let mut runs: Vec<SortedRun<M>> = Vec::with_capacity(chunks.len());
         let mut input_bytes = 0u64;
+        let mut counters = Counters::new();
+        let mut events: Vec<TraceEvent> = Vec::new();
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
         crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
-                .map(|c| {
+                .enumerate()
+                .map(|(ci, c)| {
                     scope.spawn(move |_| {
+                        let t0 = tracer.map(Tracer::now_us).unwrap_or(0);
                         let mut em = Emitter::new();
                         let mut bytes = 0u64;
                         for rec in *c {
                             bytes += rec.approx_bytes();
                             mapper.map(rec, &mut em);
                         }
-                        (em.into_sorted_run(), bytes)
+                        let emitted = em.emitted() as u64;
+                        let (run, worker_counters) = em.finish();
+                        let event = tracer.map(|t| {
+                            TraceEvent::span(SpanKind::Task, "map-task", ci as u64, t0, t.now_us())
+                                .arg("records", c.len() as u64)
+                                .arg("pairs", emitted)
+                        });
+                        (run, bytes, worker_counters, event)
                     })
                 })
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok((run, bytes)) => {
+                    Ok((run, bytes, worker_counters, event)) => {
                         runs.push(run);
                         input_bytes += bytes;
+                        counters.merge(&worker_counters);
+                        events.extend(event);
                     }
                     // Keep draining the remaining handles so the scope can
                     // close; re-raise the first payload afterwards.
@@ -249,7 +323,10 @@ impl Engine {
         if let Some(payload) = panic_payload {
             resume_unwind(payload);
         }
-        (runs, input_bytes)
+        if let Some(t) = tracer {
+            t.record_batch(events);
+        }
+        (runs, input_bytes, counters)
     }
 
     /// Runs reducers over the key buckets, work-stealing across worker
@@ -264,7 +341,7 @@ impl Engine {
         job_name: &str,
         buckets: Vec<(ReducerId, Vec<M>)>,
         reducer: &impl Reducer<M, O>,
-    ) -> (Vec<(ReducerId, Vec<O>)>, Vec<ReducerLoad>)
+    ) -> ReducePhaseResult<O>
     where
         M: Record,
         O: Record,
@@ -275,10 +352,23 @@ impl Engine {
             values: parking_lot::Mutex<Option<Vec<M>>>,
         }
 
+        /// What one reducer invocation leaves behind: outputs, its load
+        /// line, its user counters and (when tracing) its span. Stored per
+        /// bucket so the merge below is in bucket order — deterministic no
+        /// matter which worker stole which bucket.
+        struct ReduceResult<O> {
+            key: ReducerId,
+            out: Vec<O>,
+            load: ReducerLoad,
+            counters: Counters,
+            event: Option<TraceEvent>,
+        }
+
         let threads = self.cfg.worker_threads.max(1);
         let next = AtomicUsize::new(0);
         let n = buckets.len();
         let faults = self.faults.clone();
+        let tracer = self.tracer.as_deref();
         let slots: Vec<BucketSlot<M>> = buckets
             .into_iter()
             .map(|(key, vals)| BucketSlot {
@@ -287,60 +377,108 @@ impl Engine {
                 values: parking_lot::Mutex::new(Some(vals)),
             })
             .collect();
-        type ResultSlot<O> = parking_lot::Mutex<Option<(ReducerId, Vec<O>, ReducerLoad)>>;
+        type ResultSlot<O> = parking_lot::Mutex<Option<ReduceResult<O>>>;
         let result_slots: Vec<ResultSlot<O>> =
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        let mut worker_events: Vec<TraceEvent> = Vec::new();
+
+        // Shared state is captured by reference; the `move` below only
+        // copies these references (plus each worker's index) into the
+        // closure.
+        let slots = &slots;
+        let next = &next;
+        let faults = &faults;
+        let result_refs = &result_slots;
 
         crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads.min(n.max(1)))
-                .map(|_| {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let slot = &slots[i];
-                        let mut attempts = 0u32;
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let t0 = tracer.map(Tracer::now_us).unwrap_or(0);
+                        let mut buckets_run = 0u64;
                         loop {
-                            attempts += 1;
-                            if let Some(plan) = &faults {
-                                if plan.should_fail(job_name, slot.key) {
-                                    assert!(
-                                        attempts < plan.max_attempts(),
-                                        "reducer {} of job {job_name} exceeded max attempts",
-                                        slot.key
-                                    );
-                                    continue; // retry (re-read below)
-                                }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
                             }
-                            let mut vals = if faults.is_some() {
-                                // Retryable run: keep the bucket resident and
-                                // hand the reducer a fresh copy per attempt.
-                                slot.values.lock().clone().expect("bucket consumed twice")
-                            } else {
-                                // Fault-free run: move the bucket out.
-                                slot.values.lock().take().expect("bucket consumed twice")
-                            };
-                            let mut out = Vec::new();
-                            let mut ctx = ReduceCtx::new(slot.key);
-                            reducer.reduce(&mut ctx, &mut vals, &mut out);
-                            let load = ReducerLoad {
-                                key: slot.key,
-                                pairs_received: slot.pairs_received,
-                                work: ctx.work(),
-                                output: out.len() as u64,
-                                attempts,
-                            };
-                            *result_slots[i].lock() = Some((slot.key, out, load));
-                            break;
+                            let slot = &slots[i];
+                            let mut attempts = 0u32;
+                            loop {
+                                attempts += 1;
+                                if let Some(plan) = &faults {
+                                    if plan.should_fail(job_name, slot.key) {
+                                        assert!(
+                                            attempts < plan.max_attempts(),
+                                            "reducer {} of job {job_name} exceeded max attempts",
+                                            slot.key
+                                        );
+                                        continue; // retry (re-read below)
+                                    }
+                                }
+                                let mut vals = if faults.is_some() {
+                                    // Retryable run: keep the bucket resident and
+                                    // hand the reducer a fresh copy per attempt.
+                                    slot.values.lock().clone().expect("bucket consumed twice")
+                                } else {
+                                    // Fault-free run: move the bucket out.
+                                    slot.values.lock().take().expect("bucket consumed twice")
+                                };
+                                let r0 = tracer.map(Tracer::now_us).unwrap_or(0);
+                                let mut out = Vec::new();
+                                let mut ctx = ReduceCtx::new(slot.key);
+                                reducer.reduce(&mut ctx, &mut vals, &mut out);
+                                let event = tracer.map(|t| {
+                                    TraceEvent::span(
+                                        SpanKind::Reduce,
+                                        "reduce",
+                                        w as u64,
+                                        r0,
+                                        t.now_us(),
+                                    )
+                                    .arg("key", slot.key)
+                                    .arg("pairs", slot.pairs_received)
+                                    .arg("work", ctx.work())
+                                    .arg("out", out.len() as u64)
+                                });
+                                let load = ReducerLoad {
+                                    key: slot.key,
+                                    pairs_received: slot.pairs_received,
+                                    work: ctx.work(),
+                                    output: out.len() as u64,
+                                    attempts,
+                                };
+                                let ReduceCtx { counters, .. } = ctx;
+                                *result_refs[i].lock() = Some(ReduceResult {
+                                    key: slot.key,
+                                    out,
+                                    load,
+                                    counters,
+                                    event,
+                                });
+                                buckets_run += 1;
+                                break;
+                            }
                         }
+                        tracer.map(|t| {
+                            TraceEvent::span(
+                                SpanKind::Task,
+                                "reduce-worker",
+                                w as u64,
+                                t0,
+                                t.now_us(),
+                            )
+                            .arg("buckets", buckets_run)
+                        })
                     })
                 })
                 .collect();
             for h in handles {
-                if let Err(payload) = h.join() {
-                    panic_payload.get_or_insert(payload);
+                match h.join() {
+                    Ok(event) => worker_events.extend(event),
+                    Err(payload) => {
+                        panic_payload.get_or_insert(payload);
+                    }
                 }
             }
         })
@@ -351,12 +489,22 @@ impl Engine {
 
         let mut outs = Vec::with_capacity(n);
         let mut loads = Vec::with_capacity(n);
+        let mut counters = Counters::new();
+        let mut reduce_events: Vec<TraceEvent> = Vec::new();
         for slot in result_slots {
-            let (key, o, load) = slot.into_inner().expect("reducer result missing");
-            outs.push((key, o));
-            loads.push(load);
+            let r = slot.into_inner().expect("reducer result missing");
+            outs.push((r.key, r.out));
+            loads.push(r.load);
+            counters.merge(&r.counters);
+            reduce_events.extend(r.event);
         }
-        (outs, loads)
+        if let Some(t) = tracer {
+            // Per-reducer spans in bucket (key) order, then worker stints in
+            // worker order — the deterministic merge of the trace buffers.
+            t.record_batch(reduce_events);
+            t.record_batch(worker_events);
+        }
+        (outs, loads, counters)
     }
 }
 
@@ -663,6 +811,131 @@ mod tests {
         let (empty, stats) = merge_sorted_runs(Vec::<SortedRun<u64>>::new());
         assert!(empty.is_empty());
         assert_eq!(stats, ShuffleStats::default());
+    }
+
+    #[test]
+    fn counters_merge_from_map_and_reduce() {
+        let out = engine().run_job(
+            "counted",
+            &(0..100u64).collect::<Vec<_>>(),
+            |&n: &u64, e: &mut Emitter<u64>| {
+                e.inc("map.seen", 1);
+                if n % 2 == 0 {
+                    e.inc("map.even", 1);
+                }
+                e.emit(n % 4, n);
+            },
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                ctx.inc("reduce.values", vs.len() as u64);
+                out.push((ctx.key, vs.iter().sum()));
+            },
+        );
+        let c = &out.metrics.counters;
+        assert_eq!(c.get("map.seen"), 100);
+        assert_eq!(c.get("map.even"), 50);
+        assert_eq!(c.get("reduce.values"), 100);
+        assert_eq!(c.get("absent"), 0);
+    }
+
+    #[test]
+    fn counters_deterministic_across_thread_counts() {
+        let input: Vec<u64> = (0..333).collect();
+        let run = |threads: usize| {
+            Engine::new(ClusterConfig {
+                reducer_slots: 4,
+                worker_threads: threads,
+                cost: CostModel::default(),
+            })
+            .run_job(
+                "cdet",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| {
+                    e.inc("pairs", 1 + (n % 3));
+                    e.emit(n % 7, n);
+                },
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                    ctx.inc("groups", 1);
+                    out.push(vs.len() as u64);
+                },
+            )
+            .metrics
+            .counters
+            .clone()
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn tracer_records_job_phase_task_and_reduce_spans() {
+        let tracer = Arc::new(Tracer::new());
+        let eng = Engine::new(ClusterConfig {
+            reducer_slots: 4,
+            worker_threads: 3,
+            cost: CostModel::default(),
+        })
+        .with_tracer(tracer.clone());
+        let _ = eng.run_job(
+            "traced",
+            &(0..64u64).collect::<Vec<_>>(),
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 4, n),
+            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                ctx.add_work(vs.len() as u64);
+                out.push((ctx.key, vs.iter().sum()));
+            },
+        );
+        let events = tracer.snapshot();
+        let names_of = |kind: SpanKind| -> Vec<String> {
+            events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .map(|e| e.name.clone())
+                .collect()
+        };
+        assert_eq!(names_of(SpanKind::Job), vec!["traced"]);
+        assert_eq!(names_of(SpanKind::Phase), vec!["map", "shuffle", "reduce"]);
+        // 3 worker threads → 3 map chunks; plus up to 3 reduce-worker stints.
+        let tasks = names_of(SpanKind::Task);
+        assert_eq!(tasks.iter().filter(|n| *n == "map-task").count(), 3);
+        assert!(tasks.iter().filter(|n| *n == "reduce-worker").count() >= 1);
+        // One reduce span per bucket, in key order.
+        let reduce_keys: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == SpanKind::Reduce)
+            .map(|e| {
+                e.args
+                    .iter()
+                    .find(|(k, _)| *k == "key")
+                    .expect("reduce span has key arg")
+                    .1
+            })
+            .collect();
+        assert_eq!(reduce_keys, vec![0, 1, 2, 3]);
+        let reduce0 = events.iter().find(|e| e.kind == SpanKind::Reduce).unwrap();
+        assert!(reduce0.args.contains(&("pairs", 16)));
+        assert!(reduce0.args.contains(&("work", 16)));
+        assert!(reduce0.args.contains(&("out", 1)));
+        // The export shapes hold on a real trace.
+        let json = tracer.chrome_trace();
+        assert!(json.contains("\"cat\":\"job\""), "{json}");
+        assert!(json.contains("\"cat\":\"phase\""), "{json}");
+        assert!(json.contains("\"cat\":\"task\""), "{json}");
+    }
+
+    #[test]
+    fn no_tracer_records_nothing() {
+        let eng = engine();
+        assert!(eng.tracer().is_none());
+        let out = eng.run_job(
+            "untraced",
+            &[1u64, 2, 3],
+            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+        );
+        assert_eq!(out.outputs, vec![1, 2, 3]);
+        assert!(out.metrics.counters.is_empty());
     }
 
     /// Clone-counting value for asserting the zero-clone reduce contract.

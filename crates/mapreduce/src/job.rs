@@ -7,6 +7,7 @@
 //! they report *work units* — the quantity the simulated cost model charges
 //! for reducer compute (e.g. candidate pairs examined by a join).
 
+use crate::metrics::Counters;
 use crate::record::Record;
 
 /// Identifies a logical reducer. Join algorithms encode either a 1-D
@@ -19,15 +20,30 @@ pub type ReducerId = u64;
 /// workers are combined by [`crate::engine::merge_sorted_runs`].
 pub type SortedRun<M> = Vec<(ReducerId, M)>;
 
-/// Collects the intermediate pairs produced for one input record.
+/// The map-side context: collects the intermediate pairs a mapper emits
+/// and carries the worker's user-defined [`Counters`].
+///
+/// One `Emitter` lives per map worker (not per record), so counters
+/// incremented here accumulate across the worker's whole chunk and are
+/// merged across workers by the engine — the map half of Hadoop's
+/// user-counter facility. [`MapCtx`] is an alias making the context role
+/// explicit at algorithm call sites.
 #[derive(Debug)]
 pub struct Emitter<M> {
     pub(crate) pairs: Vec<(ReducerId, M)>,
+    pub(crate) counters: Counters,
 }
+
+/// The map-side context handed to [`Mapper`]s — an alias for [`Emitter`]
+/// (the emitter *is* the per-worker map context; see its docs).
+pub type MapCtx<M> = Emitter<M>;
 
 impl<M> Emitter<M> {
     pub(crate) fn new() -> Self {
-        Emitter { pairs: Vec::new() }
+        Emitter {
+            pairs: Vec::new(),
+            counters: Counters::new(),
+        }
     }
 
     /// Emits one intermediate pair `(key, value)` — i.e. communicates
@@ -47,18 +63,36 @@ impl<M> Emitter<M> {
         }
     }
 
-    /// Number of pairs emitted so far for the current record.
+    /// Number of pairs emitted so far by this worker.
     pub fn emitted(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// Adds `delta` to the user counter `name` (Hadoop-style; merged
+    /// across workers into [`crate::JobMetrics::counters`]).
+    #[inline]
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        self.counters.inc(name, delta);
+    }
+
+    /// The counters this worker accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Finishes the worker's map output as a key-sorted run (Hadoop's
     /// map-side sort before the spill). The sort is stable, so values for
     /// one key stay in emission order — the engine's determinism contract.
     pub fn into_sorted_run(self) -> SortedRun<M> {
+        self.finish().0
+    }
+
+    /// Finishes the worker: the key-sorted run (see [`Emitter::into_sorted_run`])
+    /// plus the worker's accumulated counters.
+    pub(crate) fn finish(self) -> (SortedRun<M>, Counters) {
         let mut pairs = self.pairs;
         pairs.sort_by_key(|(k, _)| *k);
-        pairs
+        (pairs, self.counters)
     }
 }
 
@@ -87,11 +121,16 @@ pub struct ReduceCtx {
     /// The key this invocation owns.
     pub key: ReducerId,
     pub(crate) work: u64,
+    pub(crate) counters: Counters,
 }
 
 impl ReduceCtx {
     pub(crate) fn new(key: ReducerId) -> Self {
-        ReduceCtx { key, work: 0 }
+        ReduceCtx {
+            key,
+            work: 0,
+            counters: Counters::new(),
+        }
     }
 
     /// Reports `units` of compute done by this reducer (candidate pairs
@@ -105,6 +144,18 @@ impl ReduceCtx {
     /// Work units reported so far.
     pub fn work(&self) -> u64 {
         self.work
+    }
+
+    /// Adds `delta` to the user counter `name` (Hadoop-style; merged
+    /// across reducers into [`crate::JobMetrics::counters`]).
+    #[inline]
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        self.counters.inc(name, delta);
+    }
+
+    /// The counters this invocation accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 }
 
@@ -176,6 +227,23 @@ mod tests {
         ctx.add_work(7);
         assert_eq!(ctx.work(), 17);
         assert_eq!(ctx.key, 5);
+    }
+
+    #[test]
+    fn contexts_accumulate_counters() {
+        let mut e: Emitter<u32> = Emitter::new();
+        e.inc("replicas", 3);
+        e.inc("replicas", 2);
+        e.inc("crossing", 1);
+        assert_eq!(e.counters().get("replicas"), 5);
+        let (_, counters) = e.finish();
+        assert_eq!(counters.get("crossing"), 1);
+
+        let mut ctx = ReduceCtx::new(0);
+        ctx.inc("candidates", 10);
+        ctx.inc("emitted", 4);
+        assert_eq!(ctx.counters().get("candidates"), 10);
+        assert_eq!(ctx.counters().get("emitted"), 4);
     }
 
     #[test]

@@ -54,12 +54,14 @@ pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod record;
+pub mod trace;
 
 pub use chain::JobChain;
 pub use cost::{CostModel, PhaseCost};
 pub use dfs::Dfs;
 pub use engine::{merge_sorted_runs, ClusterConfig, Engine, JobOutput, ShuffleStats};
 pub use fault::FaultPlan;
-pub use job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
-pub use metrics::{JobMetrics, ReducerLoad};
+pub use job::{Emitter, MapCtx, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
+pub use metrics::{Counters, JobMetrics, ReducerLoad, SkewReport};
 pub use record::Record;
+pub use trace::{SpanKind, TraceEvent, Tracer};
