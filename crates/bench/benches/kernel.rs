@@ -1,0 +1,195 @@
+//! Join-kernel micro-benchmarks: the dispatching kernel (plane sweep /
+//! sort-merge) against the windowed-backtracking fallback and two
+//! single-node oracles, on the bucket shapes reducers actually see.
+//!
+//! `overlap_heavy` is the case the sweep kernel targets: long outer
+//! intervals whose start windows cover a large fraction of the inner list
+//! while only a thin end-window slice actually matches — exactly where the
+//! backtracking path degrades to wide scans with per-candidate `holds`
+//! re-checks. `sequence_heavy` exercises the sort-merge path on `before`
+//! chains. The dispatching kernel must beat `windowed_backtracking` by ≥2×
+//! on `overlap_heavy` (checked in CI via the BENCH_JSON summary).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ij_core::executor::Candidates;
+use ij_core::kernel::{self, KernelConfig};
+use ij_interval::{Interval, TupleId};
+use ij_query::JoinQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn iv(s: i64, e: i64) -> Interval {
+    Interval::new(s, e).unwrap()
+}
+
+/// An overlap-heavy bucket: `n` long outer intervals (relation 0) and `n`
+/// short inner intervals (relation 1). Most inners start inside an outer
+/// (huge start windows) but end inside it too, failing `overlaps`' `e2 >
+/// e1` end range — the join is highly selective while the windowed scan
+/// stays quadratic-ish.
+fn overlap_bucket(n: usize, seed: u64) -> Candidates {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = 10 * n as i64;
+    let mut c = Candidates::new(2);
+    for t in 0..n {
+        let s = rng.gen_range(0..span);
+        c.push(
+            0,
+            iv(s, s + rng.gen_range(span / 4..span / 2)),
+            t as TupleId,
+        );
+        let s2 = rng.gen_range(0..span);
+        c.push(1, iv(s2, s2 + rng.gen_range(0..30)), t as TupleId);
+    }
+    c.finish();
+    c
+}
+
+/// A sequence-heavy bucket: two relations of short intervals spread over a
+/// wide span, joined by `before` (half-open windows).
+fn sequence_bucket(n: usize, seed: u64) -> Candidates {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = 20 * n as i64;
+    let mut c = Candidates::new(2);
+    for t in 0..n {
+        for r in 0..2 {
+            let s = rng.gen_range(0..span);
+            c.push(r, iv(s, s + rng.gen_range(0..40)), t as TupleId);
+        }
+    }
+    c.finish();
+    c
+}
+
+/// Nested-loop oracle: every pair, `holds` per pair.
+fn nested_loop_count(q: &JoinQuery, c: &Candidates) -> u64 {
+    let pred = q.conditions()[0].pred;
+    let mut count = 0u64;
+    for &(a, _) in c.list(0) {
+        for &(b, _) in c.list(1) {
+            if pred.holds(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Classic Brinkhoff-style plane-sweep oracle over *intersecting* pairs
+/// (valid for colocation predicates, whose matches always intersect as
+/// closed intervals), filtered by the predicate.
+fn plane_sweep_oracle_count(q: &JoinQuery, c: &Candidates) -> u64 {
+    let pred = q.conditions()[0].pred;
+    let (l0, l1) = (c.list(0), c.list(1));
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let scan = |a: Interval, list: &[(Interval, TupleId)], from: usize, left: bool| {
+        let mut n = 0u64;
+        for &(b, _) in &list[from..] {
+            if b.start() > a.end() {
+                break;
+            }
+            let ok = if left {
+                pred.holds(a, b)
+            } else {
+                pred.holds(b, a)
+            };
+            if ok {
+                n += 1;
+            }
+        }
+        n
+    };
+    while i < l0.len() && j < l1.len() {
+        if l0[i].0.start() <= l1[j].0.start() {
+            count += scan(l0[i].0, l1, j, true);
+            i += 1;
+        } else {
+            count += scan(l1[j].0, l0, i, false);
+            j += 1;
+        }
+    }
+    count
+}
+
+fn bench_overlap_heavy(c: &mut Criterion) {
+    let n = 3000;
+    let q = JoinQuery::chain(&[ij_interval::AllenPredicate::Overlaps]).unwrap();
+    let cands = overlap_bucket(n, 7);
+    let expect = nested_loop_count(&q, &cands);
+
+    let count_with = |run: &dyn Fn(&mut u64)| {
+        let mut count = 0u64;
+        run(&mut count);
+        assert_eq!(count, expect);
+        count
+    };
+
+    let mut group = c.benchmark_group("kernel_overlap_heavy");
+    group.throughput(Throughput::Elements((2 * n) as u64));
+    group.bench_function("nested_loop_oracle", |b| {
+        b.iter(|| criterion::black_box(nested_loop_count(&q, &cands)))
+    });
+    group.bench_function("plane_sweep_oracle", |b| {
+        b.iter(|| criterion::black_box(plane_sweep_oracle_count(&q, &cands)))
+    });
+    group.bench_function("windowed_backtracking", |b| {
+        b.iter(|| {
+            count_with(&|count| {
+                kernel::backtrack_join(&q, &cands, |_| true, |_| *count += 1);
+            })
+        })
+    });
+    group.bench_function("dispatching_kernel", |b| {
+        b.iter(|| {
+            count_with(&|count| {
+                kernel::execute_serial(&q, &cands, |_| true, |_| *count += 1);
+            })
+        })
+    });
+    group.bench_function("dispatching_kernel_parallel4", |b| {
+        let cfg = KernelConfig {
+            threads: 4,
+            parallel_threshold: 0,
+        };
+        b.iter(|| {
+            count_with(&|count| {
+                kernel::execute(&q, &cands, &cfg, |_| true, |_| *count += 1);
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_sequence_heavy(c: &mut Criterion) {
+    let n = 1200;
+    let q = JoinQuery::chain(&[ij_interval::AllenPredicate::Before]).unwrap();
+    let cands = sequence_bucket(n, 11);
+    let expect = nested_loop_count(&q, &cands);
+
+    let mut group = c.benchmark_group("kernel_sequence_heavy");
+    group.throughput(Throughput::Elements((2 * n) as u64));
+    group.bench_function("nested_loop_oracle", |b| {
+        b.iter(|| criterion::black_box(nested_loop_count(&q, &cands)))
+    });
+    group.bench_function("windowed_backtracking", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            kernel::backtrack_join(&q, &cands, |_| true, |_| count += 1);
+            assert_eq!(count, expect);
+            criterion::black_box(count)
+        })
+    });
+    group.bench_function("dispatching_kernel", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            kernel::execute_serial(&q, &cands, |_| true, |_| count += 1);
+            assert_eq!(count, expect);
+            criterion::black_box(count)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap_heavy, bench_sequence_heavy);
+criterion_main!(benches);

@@ -60,6 +60,7 @@ fn bench_reduce_ownership(c: &mut Criterion) {
             reducer_slots: 16,
             worker_threads: 8,
             cost: CostModel::default(),
+            ..ClusterConfig::default()
         });
         if faults {
             // An (empty) attached plan forces the clone-per-attempt path.

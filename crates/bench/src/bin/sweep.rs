@@ -101,6 +101,21 @@ fn main() {
             &engine,
         );
         assert_same_output(&[cd.clone(), ar.clone(), rc.clone()]);
+        if name == "uniform" {
+            // Which join kernel the reducers picked (DESIGN.md §10): Q1 is
+            // a colocation query, so every bucket should go to the sweep.
+            for m in [&cd, &ar, &rc] {
+                let kernel: Vec<String> = m
+                    .counters
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("kernel."))
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                if !kernel.is_empty() {
+                    rep.note(format!("{}: {}", m.algorithm, kernel.join(" ")));
+                }
+            }
+        }
         rep.row(vec![
             name.into(),
             fmt_sim(cd.simulated).into(),

@@ -16,8 +16,9 @@ use crate::algorithm::{
     empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
 };
 use crate::all_matrix::cells::CellSpace;
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
@@ -112,7 +113,8 @@ impl Algorithm for AllMatrix {
                 }
                 cands.finish();
                 let mut count = 0u64;
-                let work = join_single_attr(
+                kernel::reduce_join(
+                    ctx,
                     &q,
                     &cands,
                     |_| true,
@@ -123,7 +125,6 @@ impl Algorithm for AllMatrix {
                         }
                     },
                 );
-                ctx.add_work(work);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }

@@ -11,8 +11,9 @@
 use crate::algorithm::{
     empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
 };
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_interval::{ops, Interval, TupleId};
@@ -123,14 +124,13 @@ impl Algorithm for AllReplicate {
                     partr.index_of(max_start) == own
                 };
                 let mut count = 0u64;
-                let work = join_single_attr(&q, &cands, accept, |a| {
+                let rep = kernel::reduce_join(ctx, &q, &cands, accept, |a| {
                     count += 1;
                     if mode == OutputMode::Materialize {
                         out.push(OutRec::Tuple(a.iter().map(|(_, t)| *t).collect()));
                     }
                 });
-                ctx.add_work(work);
-                ctx.inc("join.candidates", work);
+                ctx.inc("join.candidates", rep.work);
                 ctx.inc("join.emitted", count);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));

@@ -12,14 +12,13 @@
 
 use crate::algorithm::{empty_output, require_single_attr, AlgoError, Algorithm, RunArtifacts};
 use crate::all_matrix::CellSpace;
-use crate::executor::{tighten_lower, tighten_upper};
 use crate::input::JoinInput;
+use crate::kernel::{range_pair, RangePair};
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{CompRec, OutRec};
-use ij_interval::{ops, Interval, MapOp, Partitioning, RelId, TupleId};
+use ij_interval::{bounds_contain, ops, Interval, MapOp, Partitioning, RelId, TupleId};
 use ij_mapreduce::{Emitter, Engine, JobChain, Record, ReduceCtx};
 use ij_query::{Condition, JoinQuery};
-use std::ops::Bound;
 
 /// A record of a cascade stage job: either an accumulated composite or a
 /// base tuple of the stage's new relation.
@@ -292,29 +291,20 @@ pub fn run_stage(
             let mut work = 0u64;
             let mut count = 0u64;
             for comp in &comps {
-                // Window on the new relation's start from all checks.
-                let mut lo = Bound::Unbounded;
-                let mut hi = Bound::Unbounded;
+                // Exact endpoint ranges for the new tuple from all checks
+                // (kernel::ranges): orient each predicate so the new tuple
+                // is the right operand, window on the start range, and
+                // filter by the end range — no per-candidate `holds`.
+                let mut rp = RangePair::full();
                 for &(slot, pred, comp_left) in &checks {
-                    // Bounds for the new tuple's start: if composite is the
-                    // left operand, the new tuple is the right one.
                     let p = if comp_left { pred } else { pred.inverse() };
-                    let (l, h) = p.right_start_bounds(comp.ivs[slot]);
-                    lo = tighten_lower(lo, l);
-                    hi = tighten_upper(hi, h);
+                    rp.intersect(&range_pair(p, comp.ivs[slot]));
                 }
-                let (from, to) = crate::executor::window(&bases, lo, hi);
+                let (from, to) = crate::executor::window(&bases, rp.start.0, rp.start.1);
                 work += (to - from) as u64;
-                'cand: for &(iv, tid) in &bases[from..to] {
-                    for &(slot, pred, comp_left) in &checks {
-                        let ok = if comp_left {
-                            pred.holds(comp.ivs[slot], iv)
-                        } else {
-                            pred.holds(iv, comp.ivs[slot])
-                        };
-                        if !ok {
-                            continue 'cand;
-                        }
+                for &(iv, tid) in &bases[from..to] {
+                    if !bounds_contain(rp.end, iv.end()) {
+                        continue;
                     }
                     count += 1;
                     if finalize != Some(OutputMode::Count) {

@@ -65,6 +65,12 @@ impl Candidates {
     pub fn list(&self, rel: usize) -> &[(Interval, TupleId)] {
         &self.lists[rel]
     }
+
+    /// Whether [`finish`](Candidates::finish) has been called since the
+    /// last mutation.
+    pub(crate) fn is_sorted(&self) -> bool {
+        self.sorted
+    }
 }
 
 /// Computes a binding order for backtracking.
@@ -78,7 +84,7 @@ impl Candidates {
 /// degrade to quadratic scans.) Connectivity still matters: among
 /// equal-rank candidates we grow BFS-style from the already-bound set and
 /// prefer the smallest candidate list.
-fn binding_order(q: &JoinQuery, list_len: impl Fn(usize) -> usize) -> Vec<usize> {
+pub(crate) fn binding_order(q: &JoinQuery, list_len: impl Fn(usize) -> usize) -> Vec<usize> {
     let m = q.num_relations() as usize;
     let mut adj = vec![Vec::new(); m];
     for c in q.conditions() {
@@ -192,110 +198,9 @@ pub fn join_single_attr(
     q: &JoinQuery,
     cands: &Candidates,
     accept: impl Fn(&[(Interval, TupleId)]) -> bool,
-    mut on_output: impl FnMut(&[(Interval, TupleId)]),
+    on_output: impl FnMut(&[(Interval, TupleId)]),
 ) -> u64 {
-    assert!(
-        cands.sorted,
-        "Candidates::finish must be called before joining"
-    );
-    let m = q.num_relations() as usize;
-    if cands.any_empty() {
-        return 0;
-    }
-    let order = binding_order(q, |r| cands.len(r));
-    // Conditions checked when binding order[level]: those whose other
-    // endpoint is bound earlier.
-    let mut level_of = vec![0usize; m];
-    for (lvl, &r) in order.iter().enumerate() {
-        level_of[r] = lvl;
-    }
-    let mut checks: Vec<Vec<&ij_query::Condition>> = vec![Vec::new(); m];
-    for c in q.conditions() {
-        let (l, r) = (c.left.rel.idx(), c.right.rel.idx());
-        let later = if level_of[l] > level_of[r] { l } else { r };
-        checks[level_of[later]].push(c);
-    }
-
-    let mut assignment: Vec<(Interval, TupleId)> = vec![(Interval::point(0), 0); m];
-    let mut work = 0u64;
-    descend(
-        q,
-        cands,
-        &order,
-        &checks,
-        0,
-        &mut assignment,
-        &accept,
-        &mut on_output,
-        &mut work,
-    );
-    work
-}
-
-#[allow(clippy::too_many_arguments)]
-fn descend(
-    _q: &JoinQuery,
-    cands: &Candidates,
-    order: &[usize],
-    checks: &[Vec<&ij_query::Condition>],
-    level: usize,
-    assignment: &mut Vec<(Interval, TupleId)>,
-    accept: &impl Fn(&[(Interval, TupleId)]) -> bool,
-    on_output: &mut impl FnMut(&[(Interval, TupleId)]),
-    work: &mut u64,
-) {
-    if level == order.len() {
-        if accept(assignment) {
-            on_output(assignment);
-        }
-        return;
-    }
-    let rel = order[level];
-    // Window bounds from every condition to an already-bound neighbor.
-    let mut lo = Bound::Unbounded;
-    let mut hi = Bound::Unbounded;
-    for c in &checks[level] {
-        // The bound endpoint is the one that is NOT `rel`.
-        let (other_rel, pred_for_candidate_right) = if c.left.rel.idx() == rel {
-            // candidate is the LEFT operand: bounds on candidate start given
-            // the right operand come from the inverse predicate.
-            (c.right.rel.idx(), c.pred.inverse())
-        } else {
-            (c.left.rel.idx(), c.pred)
-        };
-        let other_iv = assignment[other_rel].0;
-        let (l, h) = pred_for_candidate_right.right_start_bounds(other_iv);
-        lo = tighten_lower(lo, l);
-        hi = tighten_upper(hi, h);
-    }
-    let list = cands.list(rel);
-    let (from, to) = window(list, lo, hi);
-    *work += (to - from) as u64;
-    'candidates: for &(iv, tid) in &list[from..to] {
-        // Full predicate check against all bound neighbors.
-        for c in &checks[level] {
-            let ok = if c.left.rel.idx() == rel {
-                c.pred.holds(iv, assignment[c.right.rel.idx()].0)
-            } else {
-                c.pred.holds(assignment[c.left.rel.idx()].0, iv)
-            };
-            if !ok {
-                continue 'candidates;
-            }
-        }
-        assignment[rel] = (iv, tid);
-        descend(
-            _q,
-            cands,
-            order,
-            checks,
-            level + 1,
-            assignment,
-            accept,
-            on_output,
-            work,
-        );
-    }
+    crate::kernel::execute_serial(q, cands, accept, on_output).work
 }
 
 /// General multi-attribute backtracking join over full tuples.

@@ -14,9 +14,10 @@ use crate::algorithm::{
     empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
 };
 use crate::all_matrix::CellSpace;
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::hybrid::{owns_assignment, run_component_marking};
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{Interval, TupleId};
@@ -104,7 +105,8 @@ impl Algorithm for AllSeqMatrix {
                 }
                 cands.finish();
                 let mut count = 0u64;
-                let work = join_single_attr(
+                kernel::reduce_join(
+                    ctx,
                     &q,
                     &cands,
                     |a: &[(Interval, TupleId)]| {
@@ -117,7 +119,6 @@ impl Algorithm for AllSeqMatrix {
                         }
                     },
                 );
-                ctx.add_work(work);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }

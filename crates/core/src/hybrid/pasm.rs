@@ -17,9 +17,10 @@ use crate::algorithm::{
     empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
 };
 use crate::all_matrix::CellSpace;
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::hybrid::{owns_assignment, run_component_marking};
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{ops, Interval, TupleId};
@@ -139,7 +140,8 @@ impl Algorithm for Pasm {
                     }
                     cands.finish();
                     let mut participating: HashSet<u64> = HashSet::new();
-                    let work = join_single_attr(
+                    kernel::reduce_join(
+                        ctx,
                         sq,
                         &cands,
                         |a: &[(Interval, TupleId)]| {
@@ -154,7 +156,6 @@ impl Algorithm for Pasm {
                             }
                         },
                     );
-                    ctx.add_work(work);
                     out.extend(participating);
                 }
             },
@@ -217,7 +218,8 @@ impl Algorithm for Pasm {
                 }
                 cands.finish();
                 let mut count = 0u64;
-                let work = join_single_attr(
+                kernel::reduce_join(
+                    ctx,
                     &q,
                     &cands,
                     |a: &[(Interval, TupleId)]| {
@@ -230,7 +232,6 @@ impl Algorithm for Pasm {
                         }
                     },
                 );
-                ctx.add_work(work);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }

@@ -1,0 +1,578 @@
+//! Predicate-specialized reduce-side join kernels.
+//!
+//! Every reducer of every single-attribute algorithm funnels into
+//! [`execute`] (via `executor::join_single_attr` or [`reduce_join`]): the
+//! dispatcher classifies the query's condition set and routes each bucket
+//! to the fastest applicable kernel —
+//!
+//! | Condition set | Kernel | Counter |
+//! |---|---|---|
+//! | colocation only | `sweep` (active-set / dual-window plane sweep) | `kernel.sweep_buckets` |
+//! | sequence only | `sort_merge` (suffix/prefix merge) | `kernel.merge_buckets` |
+//! | mixed (hybrid) | `backtrack` (windowed backtracking) | `kernel.fallback_buckets` |
+//!
+//! All three are complete join executors for arbitrary single-attribute
+//! Allen condition sets (they share the binding-order skeleton and differ
+//! only in the per-level scan strategy), so dispatch is purely a
+//! performance decision — property-tested to produce identical result
+//! sets.
+//!
+//! **Heavy-bucket intra-reducer parallelism.** When a bucket's candidate
+//! count reaches the configured threshold, [`execute`] splits the level-0
+//! outer iteration into contiguous chunks across a bounded worker pool and
+//! concatenates the per-chunk outputs in chunk order. Because every kernel
+//! emits along a fixed outer order (and the pair sweep's retirement state
+//! is a function of the current outer interval only), the merged output is
+//! byte-identical to the serial run for any thread count, and reported
+//! work units are chunk-invariant. The owner-`accept` filter runs inside
+//! the workers; the `on_output` sink is only ever called on the caller's
+//! thread.
+
+mod backtrack;
+mod ranges;
+mod sort_merge;
+mod sweep;
+
+pub use ranges::{range_pair, RangePair};
+
+use crate::executor::Candidates;
+use ij_interval::{AllenPredicate, Interval, TupleId};
+use ij_mapreduce::ReduceCtx;
+use ij_query::{JoinQuery, QueryClass};
+use std::any::Any;
+use std::ops::Range;
+use std::panic::resume_unwind;
+
+/// Sink for complete bindings: one `(interval, tuple)` slot per relation,
+/// in query order.
+pub(crate) type Emit<'a> = dyn FnMut(&[(Interval, TupleId)]) + 'a;
+
+/// Which kernel a bucket was routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Endpoint-sorted plane sweep (colocation condition sets).
+    Sweep,
+    /// Sort-merge path (sequence condition sets).
+    SortMerge,
+    /// Windowed backtracking fallback (mixed Allen condition sets).
+    Backtrack,
+}
+
+impl KernelKind {
+    /// The per-bucket user counter this kernel increments.
+    pub fn counter(self) -> &'static str {
+        match self {
+            KernelKind::Sweep => "kernel.sweep_buckets",
+            KernelKind::SortMerge => "kernel.merge_buckets",
+            KernelKind::Backtrack => "kernel.fallback_buckets",
+        }
+    }
+}
+
+/// What one [`execute`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelReport {
+    /// The kernel the dispatcher chose.
+    pub kind: KernelKind,
+    /// Work units spent (candidates examined), chunk-invariant.
+    pub work: u64,
+    /// Outer chunks executed (1 = serial).
+    pub parallel_chunks: usize,
+}
+
+/// Execution knobs for [`execute`]; reducers derive theirs from the
+/// engine via [`reduce_join`].
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Maximum worker threads for one bucket (1 disables parallelism).
+    pub threads: usize,
+    /// Total candidate count at which a bucket becomes "heavy" and may be
+    /// split across the worker pool.
+    pub parallel_threshold: usize,
+}
+
+impl KernelConfig {
+    /// Strictly serial execution.
+    pub fn serial() -> KernelConfig {
+        KernelConfig {
+            threads: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::serial()
+    }
+}
+
+/// Routes a condition set to its kernel.
+fn choose(q: &JoinQuery) -> KernelKind {
+    match q.class() {
+        QueryClass::Colocation => KernelKind::Sweep,
+        QueryClass::Sequence => KernelKind::SortMerge,
+        // Mixed colocation/sequence sets (and anything unclassified) fall
+        // back to the general windowed backtracking scan.
+        _ => KernelKind::Backtrack,
+    }
+}
+
+/// Binding order plus per-level checks, shared by all kernels.
+///
+/// `checks[level]` lists `(other_rel, pred)` for every condition whose
+/// later-bound endpoint is at `level`, with the predicate oriented so the
+/// *candidate is the right operand*: the check is `pred.holds(other, cand)`
+/// and the candidate's endpoint ranges come from
+/// [`ranges::range_pair`]`(pred, other)`.
+pub(crate) struct Compiled {
+    pub(crate) order: Vec<usize>,
+    pub(crate) checks: Vec<Vec<(usize, AllenPredicate)>>,
+}
+
+impl Compiled {
+    fn new(q: &JoinQuery, list_len: impl Fn(usize) -> usize) -> Compiled {
+        let m = q.num_relations() as usize;
+        let order = crate::executor::binding_order(q, list_len);
+        let mut level_of = vec![0usize; m];
+        for (lvl, &r) in order.iter().enumerate() {
+            level_of[r] = lvl;
+        }
+        let mut checks: Vec<Vec<(usize, AllenPredicate)>> = vec![Vec::new(); m];
+        for c in q.conditions() {
+            let (l, r) = (c.left.rel.idx(), c.right.rel.idx());
+            let (lvl, other, pred) = if level_of[l] > level_of[r] {
+                // `l` binds later: the candidate is the LEFT operand, so
+                // flip to the right-operand form.
+                (level_of[l], r, c.pred.inverse())
+            } else {
+                (level_of[r], l, c.pred)
+            };
+            checks[lvl].push((other, pred));
+        }
+        Compiled { order, checks }
+    }
+}
+
+/// One prepared bucket: everything the chunk runner needs, immutable.
+struct Prepared {
+    kind: KernelKind,
+    compiled: Compiled,
+    sweep: Option<sweep::SweepPlan>,
+    outer_len: usize,
+    total: usize,
+}
+
+fn prepare(q: &JoinQuery, cands: &Candidates, kind: KernelKind) -> Option<Prepared> {
+    assert!(
+        cands.is_sorted(),
+        "Candidates::finish must be called before joining"
+    );
+    if cands.any_empty() {
+        return None;
+    }
+    let m = q.num_relations() as usize;
+    let compiled = Compiled::new(q, |r| cands.len(r));
+    let sweep = (kind == KernelKind::Sweep).then(|| sweep::SweepPlan::new(q, cands, &compiled));
+    let outer_len = match &sweep {
+        Some(p) => p.outer_len(cands, &compiled),
+        None => cands.len(compiled.order[0]),
+    };
+    let total = (0..m).map(|r| cands.len(r)).sum();
+    Some(Prepared {
+        kind,
+        compiled,
+        sweep,
+        outer_len,
+        total,
+    })
+}
+
+fn run_range(
+    prep: &Prepared,
+    cands: &Candidates,
+    outer: Range<usize>,
+    emit: &mut Emit<'_>,
+    work: &mut u64,
+) {
+    match prep.kind {
+        KernelKind::Backtrack => backtrack::run(cands, &prep.compiled, outer, emit, work),
+        KernelKind::SortMerge => sort_merge::run(cands, &prep.compiled, outer, emit, work),
+        KernelKind::Sweep => prep.sweep.as_ref().expect("sweep plan prepared").run(
+            cands,
+            &prep.compiled,
+            outer,
+            emit,
+            work,
+        ),
+    }
+}
+
+/// Dispatching kernel execution, serial only (no `Sync` bound on `accept`).
+///
+/// `executor::join_single_attr` delegates here, so the whole algorithm
+/// suite picks the kernels up without signature changes.
+pub fn execute_serial(
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: impl Fn(&[(Interval, TupleId)]) -> bool,
+    mut on_output: impl FnMut(&[(Interval, TupleId)]),
+) -> KernelReport {
+    let kind = choose(q);
+    let Some(prep) = prepare(q, cands, kind) else {
+        return KernelReport {
+            kind,
+            work: 0,
+            parallel_chunks: 1,
+        };
+    };
+    let mut work = 0u64;
+    run_range(
+        &prep,
+        cands,
+        0..prep.outer_len,
+        &mut |a| {
+            if accept(a) {
+                on_output(a)
+            }
+        },
+        &mut work,
+    );
+    KernelReport {
+        kind,
+        work,
+        parallel_chunks: 1,
+    }
+}
+
+/// Dispatching kernel execution with heavy-bucket parallelism.
+///
+/// When the bucket's total candidate count reaches
+/// `cfg.parallel_threshold` and `cfg.threads > 1`, the outer iteration is
+/// chunked across a scoped worker pool; `accept` runs inside the workers
+/// (hence the `Sync` bound) while `on_output` observes the chunk-ordered
+/// concatenation on the calling thread — byte-identical to the serial
+/// emission order for every thread count.
+pub fn execute<A, F>(
+    q: &JoinQuery,
+    cands: &Candidates,
+    cfg: &KernelConfig,
+    accept: A,
+    mut on_output: F,
+) -> KernelReport
+where
+    A: Fn(&[(Interval, TupleId)]) -> bool + Sync,
+    F: FnMut(&[(Interval, TupleId)]),
+{
+    let kind = choose(q);
+    let Some(prep) = prepare(q, cands, kind) else {
+        return KernelReport {
+            kind,
+            work: 0,
+            parallel_chunks: 1,
+        };
+    };
+    let threads = if prep.total >= cfg.parallel_threshold {
+        cfg.threads.min(prep.outer_len).max(1)
+    } else {
+        1
+    };
+    if threads <= 1 {
+        let mut work = 0u64;
+        run_range(
+            &prep,
+            cands,
+            0..prep.outer_len,
+            &mut |a| {
+                if accept(a) {
+                    on_output(a)
+                }
+            },
+            &mut work,
+        );
+        return KernelReport {
+            kind,
+            work,
+            parallel_chunks: 1,
+        };
+    }
+
+    let chunk = prep.outer_len.div_ceil(threads);
+    let ranges: Vec<Range<usize>> = (0..threads)
+        .map(|t| (t * chunk)..((t + 1) * chunk).min(prep.outer_len))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let m = prep.compiled.order.len();
+    let prep_ref = &prep;
+    let accept_ref = &accept;
+    let mut chunk_results: Vec<(u64, Vec<(Interval, TupleId)>)> = Vec::with_capacity(ranges.len());
+    let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|r| {
+                scope.spawn(move |_| {
+                    let mut work = 0u64;
+                    let mut buf: Vec<(Interval, TupleId)> = Vec::new();
+                    run_range(
+                        prep_ref,
+                        cands,
+                        r,
+                        &mut |a| {
+                            if accept_ref(a) {
+                                buf.extend_from_slice(a);
+                            }
+                        },
+                        &mut work,
+                    );
+                    (work, buf)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(res) => chunk_results.push(res),
+                Err(p) => {
+                    panic_payload.get_or_insert(p);
+                }
+            }
+        }
+    })
+    .unwrap_or_else(|p| resume_unwind(p));
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+
+    let parallel_chunks = chunk_results.len();
+    let mut work = 0u64;
+    for (w, buf) in &chunk_results {
+        work += w;
+        for a in buf.chunks_exact(m) {
+            on_output(a);
+        }
+    }
+    KernelReport {
+        kind,
+        work,
+        parallel_chunks,
+    }
+}
+
+/// Runs a bucket inside a reducer: derives the [`KernelConfig`] from the
+/// engine's per-bucket thread budget, reports the work units to the cost
+/// model and maintains the `kernel.*` counters. Algorithm call sites use
+/// this instead of raw `join_single_attr`.
+pub fn reduce_join<A, F>(
+    ctx: &mut ReduceCtx,
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: A,
+    on_output: F,
+) -> KernelReport
+where
+    A: Fn(&[(Interval, TupleId)]) -> bool + Sync,
+    F: FnMut(&[(Interval, TupleId)]),
+{
+    let cfg = KernelConfig {
+        threads: ctx.thread_budget(),
+        parallel_threshold: ctx.heavy_bucket_threshold(),
+    };
+    let rep = execute(q, cands, &cfg, accept, on_output);
+    ctx.add_work(rep.work);
+    ctx.inc(rep.kind.counter(), 1);
+    if rep.parallel_chunks > 1 {
+        ctx.inc("kernel.parallel_buckets", 1);
+    }
+    rep
+}
+
+fn run_forced(
+    kind: KernelKind,
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: impl Fn(&[(Interval, TupleId)]) -> bool,
+    mut on_output: impl FnMut(&[(Interval, TupleId)]),
+) -> u64 {
+    let Some(prep) = prepare(q, cands, kind) else {
+        return 0;
+    };
+    let mut work = 0u64;
+    run_range(
+        &prep,
+        cands,
+        0..prep.outer_len,
+        &mut |a| {
+            if accept(a) {
+                on_output(a)
+            }
+        },
+        &mut work,
+    );
+    work
+}
+
+/// Forces the plane-sweep kernel (complete for any single-attribute
+/// query); returns work units. Used by benchmarks and equivalence tests.
+pub fn sweep_join(
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: impl Fn(&[(Interval, TupleId)]) -> bool,
+    on_output: impl FnMut(&[(Interval, TupleId)]),
+) -> u64 {
+    run_forced(KernelKind::Sweep, q, cands, accept, on_output)
+}
+
+/// Forces the sort-merge kernel (complete for any single-attribute
+/// query); returns work units.
+pub fn merge_join(
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: impl Fn(&[(Interval, TupleId)]) -> bool,
+    on_output: impl FnMut(&[(Interval, TupleId)]),
+) -> u64 {
+    run_forced(KernelKind::SortMerge, q, cands, accept, on_output)
+}
+
+/// Forces the windowed backtracking fallback (the pre-kernel
+/// `join_single_attr` semantics); returns work units.
+pub fn backtrack_join(
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: impl Fn(&[(Interval, TupleId)]) -> bool,
+    on_output: impl FnMut(&[(Interval, TupleId)]),
+) -> u64 {
+    run_forced(KernelKind::Backtrack, q, cands, accept, on_output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_interval::AllenPredicate::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::new(s, e).unwrap()
+    }
+
+    fn random_cands(m: usize, n: u32, seed: u64) -> Candidates {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Candidates::new(m);
+        for r in 0..m {
+            for t in 0..n {
+                let s = rng.gen_range(0..60);
+                let e = s + rng.gen_range(0..20);
+                c.push(r, iv(s, e), t);
+            }
+        }
+        c.finish();
+        c
+    }
+
+    fn collect(
+        run: impl FnOnce(&mut dyn FnMut(&[(Interval, TupleId)])) -> u64,
+    ) -> (u64, Vec<Vec<TupleId>>) {
+        let mut got = Vec::new();
+        let work = run(&mut |a: &[(Interval, TupleId)]| {
+            got.push(a.iter().map(|(_, t)| *t).collect::<Vec<_>>())
+        });
+        (work, got)
+    }
+
+    #[test]
+    fn dispatch_follows_query_class() {
+        let coloc = JoinQuery::chain(&[Overlaps, Contains]).unwrap();
+        let seq = JoinQuery::chain(&[Before, Before]).unwrap();
+        let mixed = JoinQuery::chain(&[Overlaps, Before]).unwrap();
+        assert_eq!(choose(&coloc), KernelKind::Sweep);
+        assert_eq!(choose(&seq), KernelKind::SortMerge);
+        assert_eq!(choose(&mixed), KernelKind::Backtrack);
+    }
+
+    #[test]
+    fn all_kernels_agree_on_every_chain_predicate() {
+        for p in AllenPredicate::ALL {
+            let q = JoinQuery::chain(&[p]).unwrap();
+            let c = random_cands(2, 40, 7 + p as u64);
+            let (_, mut bt) = collect(|e| backtrack_join(&q, &c, |_| true, |a| e(a)));
+            let (_, mut sw) = collect(|e| sweep_join(&q, &c, |_| true, |a| e(a)));
+            let (_, mut mg) = collect(|e| merge_join(&q, &c, |_| true, |a| e(a)));
+            bt.sort();
+            sw.sort();
+            mg.sort();
+            assert_eq!(bt, sw, "{p}: sweep != backtrack");
+            assert_eq!(bt, mg, "{p}: merge != backtrack");
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_and_work_invariant() {
+        let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
+        let c = random_cands(3, 60, 42);
+        let run = |threads: usize| {
+            let cfg = KernelConfig {
+                threads,
+                parallel_threshold: 0,
+            };
+            let mut got: Vec<TupleId> = Vec::new();
+            let rep = execute(
+                &q,
+                &c,
+                &cfg,
+                |_| true,
+                |a| got.extend(a.iter().map(|(_, t)| *t)),
+            );
+            (rep.work, got)
+        };
+        let (base_work, base) = run(1);
+        assert!(!base.is_empty());
+        for t in [2, 3, 8] {
+            let (work, got) = run(t);
+            assert_eq!(got, base, "threads = {t}: output order must not change");
+            assert_eq!(
+                work, base_work,
+                "threads = {t}: work must be chunk-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn accept_filter_runs_in_parallel_path() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let c = random_cands(2, 50, 9);
+        let cfg = KernelConfig {
+            threads: 4,
+            parallel_threshold: 0,
+        };
+        let mut par = Vec::new();
+        let rep = execute(&q, &c, &cfg, |a| a[1].1 % 2 == 0, |a| par.push(a[1].1));
+        assert!(rep.parallel_chunks > 1);
+        let mut ser = Vec::new();
+        execute_serial(&q, &c, |a| a[1].1 % 2 == 0, |a| ser.push(a[1].1));
+        assert_eq!(par, ser);
+        assert!(par.iter().all(|t| t % 2 == 0));
+    }
+
+    #[test]
+    fn empty_bucket_reports_zero() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let mut c = Candidates::new(2);
+        c.push(0, iv(0, 5), 0);
+        c.finish();
+        let rep = execute_serial(&q, &c, |_| true, |_| panic!("no outputs"));
+        assert_eq!(rep.work, 0);
+        assert_eq!(rep.kind, KernelKind::Sweep);
+    }
+
+    #[test]
+    fn reduce_join_reports_work_and_counters() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let c = random_cands(2, 30, 3);
+        let mut ctx = ReduceCtx::new(0);
+        let rep = reduce_join(&mut ctx, &q, &c, |_| true, |_| {});
+        assert_eq!(ctx.work(), rep.work);
+        assert_eq!(ctx.counters().get("kernel.sweep_buckets"), 1);
+        assert_eq!(ctx.counters().get("kernel.parallel_buckets"), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Sort-merge path for sequence-class (before/after) condition sets.
+//!
+//! Sequence predicates decompose into *half-open* endpoint ranges
+//! (`before` is just `s2 > e1`), so on the start-sorted candidate lists a
+//! level's window is a single suffix or prefix and every candidate whose
+//! end point passes the (usually unbounded) end range is a match — a merge
+//! join with no per-candidate `holds` re-check. The same code is exact for
+//! arbitrary condition sets via [`super::ranges::range_pair`]; dispatch
+//! routes only sequence-class queries here because the sweep kernel has
+//! the better access pattern for colocation windows.
+
+use super::Compiled;
+use super::{ranges::range_pair, Emit, RangePair};
+use crate::executor::{window, Candidates};
+use ij_interval::{bounds_contain, Interval, TupleId};
+use std::ops::Range;
+
+/// Runs the merge join over `outer` positions of the level-0 list.
+pub(crate) fn run(
+    cands: &Candidates,
+    compiled: &Compiled,
+    outer: Range<usize>,
+    emit: &mut Emit<'_>,
+    work: &mut u64,
+) {
+    let rel0 = compiled.order[0];
+    let list0 = cands.list(rel0);
+    let mut assignment: Vec<(Interval, TupleId)> =
+        vec![(Interval::point(0), 0); compiled.order.len()];
+    *work += outer.len() as u64;
+    for &(iv, tid) in &list0[outer] {
+        assignment[rel0] = (iv, tid);
+        descend(cands, compiled, 1, &mut assignment, emit, work);
+    }
+}
+
+fn descend(
+    cands: &Candidates,
+    compiled: &Compiled,
+    level: usize,
+    assignment: &mut Vec<(Interval, TupleId)>,
+    emit: &mut Emit<'_>,
+    work: &mut u64,
+) {
+    if level == compiled.order.len() {
+        emit(assignment);
+        return;
+    }
+    let rel = compiled.order[level];
+    let mut rp = RangePair::full();
+    for &(other, pred) in &compiled.checks[level] {
+        rp.intersect(&range_pair(pred, assignment[other].0));
+    }
+    let list = cands.list(rel);
+    let (from, to) = window(list, rp.start.0, rp.start.1);
+    *work += (to - from) as u64;
+    for &(iv, tid) in &list[from..to] {
+        // Start membership is the window itself; the end range is the whole
+        // remaining constraint — no `holds` re-check.
+        if bounds_contain(rp.end, iv.end()) {
+            assignment[rel] = (iv, tid);
+            descend(cands, compiled, level + 1, assignment, emit, work);
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod executor;
 pub mod gen_matrix;
 pub mod hybrid;
 pub mod input;
+pub mod kernel;
 pub mod one_bucket;
 pub mod oracle;
 pub mod output;

@@ -17,8 +17,9 @@
 //! matrix (fewer copies, pruned cells) possible.
 
 use crate::algorithm::{empty_output, iv_records, require_single_attr, AlgoError, Algorithm};
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
@@ -111,7 +112,8 @@ impl Algorithm for OneBucketTheta {
                 }
                 cands.finish();
                 let mut count = 0u64;
-                let work = join_single_attr(
+                let rep = kernel::reduce_join(
+                    ctx,
                     &q,
                     &cands,
                     |_| true,
@@ -122,8 +124,7 @@ impl Algorithm for OneBucketTheta {
                         }
                     },
                 );
-                ctx.add_work(work);
-                ctx.inc("join.candidates", work);
+                ctx.inc("join.candidates", rep.work);
                 ctx.inc("join.emitted", count);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));

@@ -3,8 +3,9 @@
 use crate::algorithm::{
     empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
 };
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{ops, Interval, Partitioning, TupleId};
@@ -198,7 +199,8 @@ pub(crate) fn run_join_cycle(
             let own = ctx.key as usize;
             let partr = &partc;
             let mut count = 0u64;
-            let work = join_single_attr(
+            let rep = kernel::reduce_join(
+                ctx,
                 &q,
                 &cands,
                 |a: &[(Interval, TupleId)]| {
@@ -212,8 +214,7 @@ pub(crate) fn run_join_cycle(
                     }
                 },
             );
-            ctx.add_work(work);
-            ctx.inc("join.candidates", work);
+            ctx.inc("join.candidates", rep.work);
             ctx.inc("join.emitted", count);
             if mode == OutputMode::Count && count > 0 {
                 out.push(OutRec::Count(count));

@@ -8,8 +8,9 @@
 use crate::algorithm::{
     empty_output, iv_records, require_single_attr, AlgoError, Algorithm, RunArtifacts,
 };
-use crate::executor::{join_single_attr, Candidates};
+use crate::executor::Candidates;
 use crate::input::JoinInput;
+use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_interval::{ops, RelId};
@@ -92,7 +93,8 @@ impl Algorithm for TwoWayJoin {
                 }
                 cands.finish();
                 let mut count = 0u64;
-                let work = join_single_attr(
+                kernel::reduce_join(
+                    ctx,
                     &q,
                     &cands,
                     |_| true,
@@ -103,7 +105,6 @@ impl Algorithm for TwoWayJoin {
                         }
                     },
                 );
-                ctx.add_work(work);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }

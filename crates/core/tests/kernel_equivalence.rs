@@ -1,0 +1,167 @@
+//! Property tests for the kernel layer: the sweep kernel, the sort-merge
+//! kernel and the windowed-backtracking fallback are *complete* executors
+//! for any single-attribute query, so on random chains and cliques over all
+//! 13 Allen predicates the three must produce identical result sets — and
+//! all must agree with the nested-loop oracle. Separately, the parallel
+//! driver must emit byte-identical output (same tuples, same order) and
+//! identical work units for every intra-bucket thread count.
+
+use ij_core::executor::Candidates;
+use ij_core::kernel::{self, KernelConfig};
+use ij_core::oracle::oracle_join;
+use ij_core::JoinInput;
+use ij_interval::{AllenPredicate, Interval, Relation, TupleId};
+use ij_query::{Condition, JoinQuery};
+use proptest::prelude::*;
+
+/// One relation's worth of random intervals: `(start, len)` pairs over a
+/// span small enough that every predicate (including the point-equality
+/// ones: meets, starts, equals, …) fires regularly.
+fn rel_strategy() -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec(
+        (0i64..30, 0i64..12).prop_map(|(s, l)| Interval::new(s, s + l).unwrap()),
+        3..25usize,
+    )
+}
+
+fn pred_strategy() -> impl Strategy<Value = AllenPredicate> {
+    (0usize..13).prop_map(|i| AllenPredicate::ALL[i])
+}
+
+/// Builds the two candidate representations the executors take: the
+/// reducer-side `Candidates` and the oracle's `JoinInput`, with matching
+/// sequential tuple ids.
+fn build_inputs(q: &JoinQuery, rels: &[Vec<Interval>]) -> (Candidates, JoinInput) {
+    let mut cands = Candidates::new(rels.len());
+    for (r, ivs) in rels.iter().enumerate() {
+        for (t, &iv) in ivs.iter().enumerate() {
+            cands.push(r, iv, t as TupleId);
+        }
+    }
+    cands.finish();
+    let input = JoinInput::bind_owned(
+        q,
+        rels.iter()
+            .map(|ivs| Relation::from_intervals("R", ivs.iter().copied()))
+            .collect(),
+    )
+    .expect("single-attr input binds");
+    (cands, input)
+}
+
+/// Sorted result sets from all three forced kernels plus the oracle; panics
+/// (via prop_assert in the caller) when any pair disagrees.
+fn all_kernel_results(q: &JoinQuery, cands: &Candidates) -> [Vec<Vec<TupleId>>; 3] {
+    type Emit<'a> = dyn FnMut(&[(Interval, TupleId)]) + 'a;
+    let collect = |run: &dyn Fn(&mut Emit<'_>)| {
+        let mut got: Vec<Vec<TupleId>> = Vec::new();
+        run(&mut |a| got.push(a.iter().map(|(_, t)| *t).collect()));
+        got.sort();
+        got
+    };
+    [
+        collect(&|emit| {
+            kernel::backtrack_join(q, cands, |_| true, |a| emit(a));
+        }),
+        collect(&|emit| {
+            kernel::sweep_join(q, cands, |_| true, |a| emit(a));
+        }),
+        collect(&|emit| {
+            kernel::merge_join(q, cands, |_| true, |a| emit(a));
+        }),
+    ]
+}
+
+/// A clique: one condition between every pair of relations. Often
+/// contradictory — those cases must simply produce empty sets everywhere.
+fn clique(m: u16, preds: &[AllenPredicate]) -> JoinQuery {
+    let mut conds = Vec::new();
+    let mut pi = 0;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            conds.push(Condition::whole(i, preds[pi % preds.len()], j));
+            pi += 1;
+        }
+    }
+    JoinQuery::new(m, conds).expect("clique query builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Chains of 2–4 relations over random predicate mixes: every kernel
+    /// and the oracle agree on the exact result set.
+    #[test]
+    fn kernels_match_oracle_on_chains(
+        preds in proptest::collection::vec(pred_strategy(), 1..4usize),
+        seed_rels in proptest::array::uniform4(rel_strategy()),
+    ) {
+        let q = JoinQuery::chain(&preds).unwrap();
+        let m = q.num_relations() as usize;
+        let rels = &seed_rels[..m];
+        let (cands, input) = build_inputs(&q, rels);
+        let [bt, sw, mg] = all_kernel_results(&q, &cands);
+        let mut oracle = oracle_join(&q, &input);
+        oracle.sort();
+        prop_assert_eq!(&bt, &sw, "sweep != backtrack for {}", q);
+        prop_assert_eq!(&bt, &mg, "merge != backtrack for {}", q);
+        prop_assert_eq!(&bt, &oracle, "kernels != oracle for {}", q);
+    }
+
+    /// Cliques over 3–4 relations (including contradictory ones, which must
+    /// yield empty sets from every path).
+    #[test]
+    fn kernels_match_oracle_on_cliques(
+        m in 3u16..5,
+        preds in proptest::array::uniform3(pred_strategy()),
+        seed_rels in proptest::array::uniform4(rel_strategy()),
+    ) {
+        let q = clique(m, &preds);
+        let rels = &seed_rels[..m as usize];
+        let (cands, input) = build_inputs(&q, rels);
+        let [bt, sw, mg] = all_kernel_results(&q, &cands);
+        let mut oracle = oracle_join(&q, &input);
+        oracle.sort();
+        prop_assert_eq!(&bt, &sw, "sweep != backtrack for {}", q);
+        prop_assert_eq!(&bt, &mg, "merge != backtrack for {}", q);
+        prop_assert_eq!(&bt, &oracle, "kernels != oracle for {}", q);
+    }
+
+    /// The heavy-bucket parallel driver is invisible: for thread counts
+    /// 1, 2 and 8 the dispatching kernel emits the same tuples in the same
+    /// order (byte-identical output) and reports identical work units.
+    #[test]
+    fn parallel_execution_is_byte_identical(
+        preds in proptest::collection::vec(pred_strategy(), 1..3usize),
+        seed_rels in proptest::array::uniform3(rel_strategy()),
+    ) {
+        let q = JoinQuery::chain(&preds).unwrap();
+        let m = q.num_relations() as usize;
+        let rels = &seed_rels[..m];
+        let (cands, _) = build_inputs(&q, rels);
+        let run = |threads: usize| {
+            let cfg = KernelConfig { threads, parallel_threshold: 0 };
+            let mut flat: Vec<TupleId> = Vec::new();
+            let rep = kernel::execute(
+                &q,
+                &cands,
+                &cfg,
+                |a| a.iter().map(|(_, t)| *t as u64).sum::<u64>() % 5 != 1,
+                |a| flat.extend(a.iter().map(|(_, t)| *t)),
+            );
+            (rep.work, flat)
+        };
+        let (base_work, base) = run(1);
+        for threads in [2usize, 8] {
+            let (work, flat) = run(threads);
+            prop_assert_eq!(
+                &flat, &base,
+                "thread count {} changed output for {}", threads, q
+            );
+            prop_assert_eq!(
+                work, base_work,
+                "thread count {} changed work units for {}", threads, q
+            );
+        }
+    }
+}

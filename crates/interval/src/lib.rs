@@ -33,7 +33,7 @@ pub mod relation;
 pub mod set;
 pub mod tuple;
 
-pub use allen::{AllenPredicate, MapOp, OperandOrder, PredicateClass};
+pub use allen::{bounds_contain, AllenPredicate, MapOp, OperandOrder, PredicateClass};
 pub use index::IntervalIndex;
 pub use interval::{Interval, IntervalError, Time};
 pub use partition::{PartitionIndex, Partitioning, PartitioningError};

@@ -34,6 +34,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Default candidate count at which a reduce bucket counts as "heavy" and
+/// becomes eligible for intra-reducer parallel join kernels.
+pub const DEFAULT_HEAVY_BUCKET_THRESHOLD: usize = 4096;
+
 /// Cluster shape and cost parameters.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -45,6 +49,16 @@ pub struct ClusterConfig {
     /// Worker threads used for the map phase (and for physically running
     /// reducers). Defaults to the machine's available parallelism.
     pub worker_threads: usize,
+    /// Upper bound on worker threads one reducer invocation may use for
+    /// heavy-bucket compute (the kernel layer's intra-reducer parallelism).
+    /// The engine additionally caps the per-bucket grant so that concurrent
+    /// reducers never oversubscribe `worker_threads`. Defaults to
+    /// `worker_threads`; set to 1 for strictly serial reducers.
+    pub intra_reduce_threads: usize,
+    /// Candidate count at which a bucket counts as heavy and may use the
+    /// intra-reducer thread grant. Defaults to
+    /// [`DEFAULT_HEAVY_BUCKET_THRESHOLD`].
+    pub heavy_bucket_threshold: usize,
     /// Cost-model weights for the simulated cluster time.
     pub cost: CostModel,
 }
@@ -57,6 +71,8 @@ impl Default for ClusterConfig {
         ClusterConfig {
             reducer_slots: 16,
             worker_threads: threads,
+            intra_reduce_threads: threads,
+            heavy_bucket_threshold: DEFAULT_HEAVY_BUCKET_THRESHOLD,
             cost: CostModel::default(),
         }
     }
@@ -367,6 +383,17 @@ impl Engine {
         let threads = self.cfg.worker_threads.max(1);
         let next = AtomicUsize::new(0);
         let n = buckets.len();
+        // Intra-reducer thread grant: the configured cap, further bounded so
+        // that all concurrently running reducers together stay within the
+        // worker-thread budget (with fewer buckets than workers, each bucket
+        // may fan out; with many buckets, grants degrade to 1 = serial).
+        let concurrent = threads.min(n.max(1));
+        let intra_budget = self
+            .cfg
+            .intra_reduce_threads
+            .max(1)
+            .min((threads / concurrent).max(1));
+        let heavy_threshold = self.cfg.heavy_bucket_threshold;
         let faults = self.faults.clone();
         let tracer = self.tracer.as_deref();
         let slots: Vec<BucketSlot<M>> = buckets
@@ -426,7 +453,11 @@ impl Engine {
                                 };
                                 let r0 = tracer.map(Tracer::now_us).unwrap_or(0);
                                 let mut out = Vec::new();
-                                let mut ctx = ReduceCtx::new(slot.key);
+                                let mut ctx = ReduceCtx::with_parallelism(
+                                    slot.key,
+                                    intra_budget,
+                                    heavy_threshold,
+                                );
                                 reducer.reduce(&mut ctx, &mut vals, &mut out);
                                 let event = tracer.map(|t| {
                                     TraceEvent::span(
@@ -469,6 +500,7 @@ impl Engine {
                                 t.now_us(),
                             )
                             .arg("buckets", buckets_run)
+                            .arg("intra_budget", intra_budget as u64)
                         })
                     })
                 })
@@ -563,6 +595,7 @@ mod tests {
             reducer_slots: 4,
             worker_threads: 3,
             cost: CostModel::default(),
+            ..ClusterConfig::default()
         })
     }
 
@@ -605,6 +638,7 @@ mod tests {
                 reducer_slots: 4,
                 worker_threads: threads,
                 cost: CostModel::default(),
+                ..ClusterConfig::default()
             })
             .run_job(
                 "det",
@@ -712,6 +746,7 @@ mod tests {
             reducer_slots: 4,
             worker_threads: 3,
             cost: CostModel::default(),
+            ..ClusterConfig::default()
         })
         .with_faults(FaultPlan::new().fail("faulty", 2, 2))
         .run_job(
@@ -845,6 +880,7 @@ mod tests {
                 reducer_slots: 4,
                 worker_threads: threads,
                 cost: CostModel::default(),
+                ..ClusterConfig::default()
             })
             .run_job(
                 "cdet",
@@ -875,6 +911,7 @@ mod tests {
             reducer_slots: 4,
             worker_threads: 3,
             cost: CostModel::default(),
+            ..ClusterConfig::default()
         })
         .with_tracer(tracer.clone());
         let _ = eng.run_job(
@@ -974,6 +1011,7 @@ mod tests {
             reducer_slots: 4,
             worker_threads: 3,
             cost: CostModel::default(),
+            ..ClusterConfig::default()
         })
         .with_faults(FaultPlan::new().fail("noclone", 1, 1))
         .run_job("noclone", &input, mapper, reducer);

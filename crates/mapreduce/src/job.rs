@@ -122,15 +122,45 @@ pub struct ReduceCtx {
     pub key: ReducerId,
     pub(crate) work: u64,
     pub(crate) counters: Counters,
+    thread_budget: usize,
+    heavy_bucket_threshold: usize,
 }
 
 impl ReduceCtx {
-    pub(crate) fn new(key: ReducerId) -> Self {
+    /// A standalone context with a serial compute budget — what the engine
+    /// hands out by default, and what tests and the oracle construct
+    /// directly.
+    pub fn new(key: ReducerId) -> Self {
+        ReduceCtx::with_parallelism(key, 1, crate::engine::DEFAULT_HEAVY_BUCKET_THRESHOLD)
+    }
+
+    /// A context carrying the engine's intra-reducer parallelism grant:
+    /// heavy-bucket kernels may use up to `thread_budget` worker threads
+    /// once a bucket reaches `heavy_bucket_threshold` candidates.
+    pub(crate) fn with_parallelism(
+        key: ReducerId,
+        thread_budget: usize,
+        heavy_bucket_threshold: usize,
+    ) -> Self {
         ReduceCtx {
             key,
             work: 0,
             counters: Counters::new(),
+            thread_budget: thread_budget.max(1),
+            heavy_bucket_threshold,
         }
+    }
+
+    /// Worker threads this invocation may use for heavy-bucket compute
+    /// (≥ 1; 1 means strictly serial).
+    pub fn thread_budget(&self) -> usize {
+        self.thread_budget
+    }
+
+    /// Candidate count at which a bucket counts as "heavy" and may be
+    /// split across the thread budget.
+    pub fn heavy_bucket_threshold(&self) -> usize {
+        self.heavy_bucket_threshold
     }
 
     /// Reports `units` of compute done by this reducer (candidate pairs

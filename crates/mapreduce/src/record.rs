@@ -30,7 +30,9 @@ impl Record for () {}
 
 impl Record for String {
     fn approx_bytes(&self) -> u64 {
-        self.len() as u64
+        // Payload bytes plus the 8-byte length header a serialized string
+        // record carries on the wire (matches the Vec<T> accounting above).
+        self.len() as u64 + 8
     }
 }
 
@@ -78,6 +80,7 @@ mod tests {
         assert_eq!(vec![1u32, 2, 3].approx_bytes(), 12 + 8);
         assert_eq!(Some(7u64).approx_bytes(), 9);
         assert_eq!(None::<u64>.approx_bytes(), 1);
-        assert_eq!("abcd".to_string().approx_bytes(), 4);
+        assert_eq!("abcd".to_string().approx_bytes(), 12);
+        assert_eq!(String::new().approx_bytes(), 8);
     }
 }

@@ -73,6 +73,7 @@ proptest! {
                 reducer_slots: 4,
                 worker_threads: threads,
                 cost: CostModel::default(),
+    ..ClusterConfig::default()
             })
             .run_job(
                 "prop-det",

@@ -36,6 +36,7 @@ fn engine_with_threads(threads: usize) -> Engine {
         reducer_slots: 4,
         worker_threads: threads,
         cost: CostModel::default(),
+        ..ClusterConfig::default()
     })
 }
 
@@ -96,6 +97,7 @@ fn identical_results_under_reducer_retries() {
         reducer_slots: 4,
         worker_threads: 4,
         cost: CostModel::default(),
+        ..ClusterConfig::default()
     })
     .with_faults(
         FaultPlan::new()

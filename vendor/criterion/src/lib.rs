@@ -161,8 +161,39 @@ fn run_one(test_mode: bool, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     } else if b.iters_run > 0 {
         let mean = b.elapsed / b.iters_run as u32;
         println!("{id:<60} {mean:>12.2?}/iter ({} iters)", b.iters_run);
+        append_json_summary(id, mean.as_nanos() as u64, b.iters_run);
     } else {
         println!("{id:<60} (no iterations run)");
+    }
+}
+
+/// When `BENCH_JSON` names a file, appends one JSON line per benchmark —
+/// `{"id":…,"mean_ns":…,"iters":…}` — so CI can upload a machine-readable
+/// summary next to the human-readable log.
+fn append_json_summary(id: &str, mean_ns: u64, iters: u64) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"id\":\"{escaped}\",\"mean_ns\":{mean_ns},\"iters\":{iters}}}"
+        );
     }
 }
 
@@ -202,6 +233,25 @@ mod tests {
         b.iter(|| count += 1);
         assert_eq!(count, 1);
         assert_eq!(b.iters_run, 1);
+    }
+
+    #[test]
+    fn json_summary_appends_escaped_lines() {
+        let path = std::env::temp_dir().join(format!("bench_json_test_{}", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        // Env vars are process-global; restore state even though no other
+        // test in this stub reads BENCH_JSON.
+        std::env::set_var("BENCH_JSON", &path_str);
+        append_json_summary("group/with \"quote\"", 1500, 42);
+        append_json_summary("plain", 7, 1);
+        std::env::remove_var("BENCH_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            body,
+            "{\"id\":\"group/with \\\"quote\\\"\",\"mean_ns\":1500,\"iters\":42}\n\
+             {\"id\":\"plain\",\"mean_ns\":7,\"iters\":1}\n"
+        );
     }
 
     #[test]
