@@ -78,6 +78,7 @@ fn bench_reduce_ownership(c: &mut Criterion) {
                 out.push((ctx.key, vs.iter().sum()));
             },
         )
+        .unwrap()
     };
 
     let mut group = c.benchmark_group("reduce_path");

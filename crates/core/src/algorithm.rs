@@ -20,6 +20,9 @@ pub enum AlgoError {
     },
     /// Bad tuning parameter (zero partitions, …).
     BadConfig(String),
+    /// A map-reduce cycle failed inside the engine (retry budget exhausted
+    /// under fault injection, or an engine invariant breached).
+    Engine(ij_mapreduce::EngineError),
 }
 
 impl fmt::Display for AlgoError {
@@ -29,11 +32,18 @@ impl fmt::Display for AlgoError {
                 write!(f, "{algorithm} does not support this query: {reason}")
             }
             AlgoError::BadConfig(m) => write!(f, "bad algorithm configuration: {m}"),
+            AlgoError::Engine(e) => write!(f, "map-reduce cycle failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for AlgoError {}
+
+impl From<ij_mapreduce::EngineError> for AlgoError {
+    fn from(e: ij_mapreduce::EngineError) -> Self {
+        AlgoError::Engine(e)
+    }
+}
 
 /// A MapReduce join algorithm.
 pub trait Algorithm {

@@ -129,7 +129,7 @@ impl Algorithm for AllMatrix {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
 
         let mut chain = JobChain::new();
         chain.push(out.metrics);

@@ -136,7 +136,7 @@ impl Algorithm for AllReplicate {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
 
         let mut chain = JobChain::new();
         chain.push(out.metrics);

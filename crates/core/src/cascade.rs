@@ -324,7 +324,7 @@ pub fn run_stage(
                 out.push(OutRec::Count(count));
             }
         },
-    );
+    )?;
     chain.push(out.metrics);
 
     // Decode stage output.

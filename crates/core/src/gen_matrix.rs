@@ -19,7 +19,7 @@ use crate::records::{OutRec, TupleRec, VtxRec};
 use ij_interval::{ops, Interval, Partitioning, RelId, TupleId};
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
 use ij_query::{Components, JoinQuery};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The Gen-Matrix algorithm.
 #[derive(Debug, Clone)]
@@ -78,7 +78,7 @@ impl Algorithm for GenMatrix {
             .collect();
 
         // ---- Cycle 1: attribute-level replication marking -------------------
-        let flagged = run_vertex_marking(query, &comps, &part, &tuples, engine, &mut chain);
+        let flagged = run_vertex_marking(query, &comps, &part, &tuples, engine, &mut chain)?;
         let replicated = flagged.len() as u64;
 
         // ---- Cycle 2: matrix join -------------------------------------------
@@ -170,7 +170,7 @@ impl Algorithm for GenMatrix {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
         chain.push(out.metrics);
 
         let mut result = JoinOutput::from_records(self.mode, out.outputs, chain);
@@ -218,7 +218,7 @@ fn run_vertex_marking(
     tuples: &[TupleRec],
     engine: &Engine,
     chain: &mut JobChain,
-) -> HashSet<u64> {
+) -> Result<BTreeSet<u64>, AlgoError> {
     let p_count = part.len() as u64;
     let multi: Vec<bool> = comps
         .components
@@ -304,9 +304,9 @@ fn run_vertex_marking(
                 }
             }
         },
-    );
+    )?;
     chain.push(out.metrics);
-    out.outputs.into_iter().collect()
+    Ok(out.outputs.into_iter().collect())
 }
 
 #[cfg(test)]

@@ -67,7 +67,7 @@ impl Algorithm for AllSeqMatrix {
 
         // ---- Cycle 1: per-component replication marking -------------------
         let flags =
-            run_component_marking(query, &comps, &part, &iv_records(input), engine, &mut chain);
+            run_component_marking(query, &comps, &part, &iv_records(input), engine, &mut chain)?;
         let replicated = flags.iter().filter(|f| f.replicate).count() as u64;
 
         // ---- Cycle 2: matrix join ------------------------------------------
@@ -123,7 +123,7 @@ impl Algorithm for AllSeqMatrix {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
         chain.push(out.metrics);
 
         let mut result = JoinOutput::from_records(self.mode, out.outputs, chain);

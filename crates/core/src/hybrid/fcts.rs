@@ -216,7 +216,7 @@ impl Algorithm for Fcts {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
         chain.push(out.metrics);
 
         let mut result = JoinOutput::from_records(self.mode, out.outputs, chain);

@@ -24,6 +24,7 @@ pub use fcts::Fcts;
 pub use fstc::Fstc;
 pub use pasm::Pasm;
 
+use crate::algorithm::AlgoError;
 use crate::records::{FlagRec, IvRec};
 use ij_interval::{ops, Interval, Partitioning, TupleId};
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ReducerId};
@@ -41,7 +42,7 @@ pub(crate) fn run_component_marking(
     records: &[IvRec],
     engine: &Engine,
     chain: &mut JobChain,
-) -> Vec<FlagRec> {
+) -> Result<Vec<FlagRec>, AlgoError> {
     let p_count = part.len() as u64;
     // Per-relation component id (single-attribute: vertex = ⟨rel, 0⟩).
     let comp_of: Vec<usize> = (0..query.num_relations())
@@ -140,9 +141,9 @@ pub(crate) fn run_component_marking(
                 }
             }
         },
-    );
+    )?;
     chain.push(out.metrics);
-    out.outputs
+    Ok(out.outputs)
 }
 
 /// Ownership test shared by the matrix joins: the assignment is owned by

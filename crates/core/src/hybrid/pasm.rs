@@ -26,7 +26,7 @@ use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{ops, Interval, TupleId};
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
 use ij_query::{AttrRef, JoinQuery};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The PASM algorithm.
 #[derive(Debug, Clone)]
@@ -71,7 +71,7 @@ impl Algorithm for Pasm {
 
         // ---- Cycle 1: per-component replication marking --------------------
         let flags =
-            run_component_marking(query, &comps, &part, &iv_records(input), engine, &mut chain);
+            run_component_marking(query, &comps, &part, &iv_records(input), engine, &mut chain)?;
         let replicated = flags.iter().filter(|f| f.replicate).count() as u64;
 
         let comp_of: Vec<usize> = (0..query.num_relations())
@@ -139,7 +139,7 @@ impl Algorithm for Pasm {
                         cands.push(local_of[v.rel.idx()] as usize, v.iv, v.tid);
                     }
                     cands.finish();
-                    let mut participating: HashSet<u64> = HashSet::new();
+                    let mut participating: BTreeSet<u64> = BTreeSet::new();
                     kernel::reduce_join(
                         ctx,
                         sq,
@@ -159,9 +159,9 @@ impl Algorithm for Pasm {
                     out.extend(participating);
                 }
             },
-        );
+        )?;
         chain.push(prune_out.metrics);
-        let participating: HashSet<u64> = prune_out.outputs.into_iter().collect();
+        let participating: BTreeSet<u64> = prune_out.outputs.into_iter().collect();
 
         // Pruned fractions per relation (only multi-component relations are
         // ever pruned).
@@ -236,7 +236,7 @@ impl Algorithm for Pasm {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
         chain.push(out.metrics);
 
         let mut result = JoinOutput::from_records(self.mode, out.outputs, chain);

@@ -59,7 +59,8 @@ pub enum KernelKind {
 }
 
 impl KernelKind {
-    /// The per-bucket user counter this kernel increments.
+    /// The per-bucket user counter this kernel increments. Valid for
+    /// every kernel kind regardless of predicate class.
     pub fn counter(self) -> &'static str {
         match self {
             KernelKind::Sweep => "kernel.sweep_buckets",
@@ -92,7 +93,8 @@ pub struct KernelConfig {
 }
 
 impl KernelConfig {
-    /// Strictly serial execution.
+    /// Strictly serial execution. Predicate-class independent: every
+    /// kernel accepts a serial config.
     pub fn serial() -> KernelConfig {
         KernelConfig {
             threads: 1,
@@ -208,7 +210,10 @@ fn run_range(
     }
 }
 
-/// Dispatching kernel execution, serial only (no `Sync` bound on `accept`).
+/// Dispatching kernel execution, serial only (no `Sync` bound on
+/// `accept`). Precondition: any single-attribute query — the dispatcher
+/// routes colocation condition sets to the sweep, sequence sets to
+/// sort-merge and mixed Allen sets to the backtracking fallback.
 ///
 /// `executor::join_single_attr` delegates here, so the whole algorithm
 /// suite picks the kernels up without signature changes.
@@ -246,6 +251,8 @@ pub fn execute_serial(
 }
 
 /// Dispatching kernel execution with heavy-bucket parallelism.
+/// Precondition: any single-attribute query (same predicate-class
+/// routing as [`execute_serial`]).
 ///
 /// When the bucket's total candidate count reaches
 /// `cfg.parallel_threshold` and `cfg.threads > 1`, the outer iteration is
@@ -362,7 +369,9 @@ where
 /// Runs a bucket inside a reducer: derives the [`KernelConfig`] from the
 /// engine's per-bucket thread budget, reports the work units to the cost
 /// model and maintains the `kernel.*` counters. Algorithm call sites use
-/// this instead of raw `join_single_attr`.
+/// this instead of raw `join_single_attr`. Precondition: any
+/// single-attribute query; the dispatcher picks the kernel by predicate
+/// class.
 pub fn reduce_join<A, F>(
     ctx: &mut ReduceCtx,
     q: &JoinQuery,
@@ -435,7 +444,8 @@ pub fn merge_join(
 }
 
 /// Forces the windowed backtracking fallback (the pre-kernel
-/// `join_single_attr` semantics); returns work units.
+/// `join_single_attr` semantics, complete for any single-attribute
+/// query including mixed Allen condition sets); returns work units.
 pub fn backtrack_join(
     q: &JoinQuery,
     cands: &Candidates,

@@ -34,7 +34,8 @@ pub struct RangePair {
 }
 
 impl RangePair {
-    /// The unconstrained pair (identity of [`RangePair::intersect`]).
+    /// The unconstrained pair (identity of [`RangePair::intersect`]) —
+    /// the starting point for conjoining any Allen predicate's ranges.
     pub fn full() -> RangePair {
         RangePair {
             start: (Bound::Unbounded, Bound::Unbounded),
@@ -42,7 +43,8 @@ impl RangePair {
         }
     }
 
-    /// Tightens `self` to the conjunction of both constraint pairs.
+    /// Tightens `self` to the conjunction of both constraint pairs —
+    /// how a condition set's Allen predicates compose on one candidate.
     pub fn intersect(&mut self, other: &RangePair) {
         self.start.0 = tighten_lower(self.start.0, other.start.0);
         self.start.1 = tighten_upper(self.start.1, other.start.1);
@@ -50,7 +52,8 @@ impl RangePair {
         self.end.1 = tighten_upper(self.end.1, other.end.1);
     }
 
-    /// Whether `iv` satisfies both range constraints.
+    /// Whether `iv` satisfies both range constraints. Exact for every
+    /// Allen predicate given a valid interval (`start <= end`).
     #[inline]
     pub fn contains(&self, iv: Interval) -> bool {
         bounds_contain(self.start, iv.start()) && bounds_contain(self.end, iv.end())

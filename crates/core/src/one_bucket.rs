@@ -130,7 +130,7 @@ impl Algorithm for OneBucketTheta {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
         let mut chain = JobChain::new();
         chain.push(out.metrics);
         let mut result = JoinOutput::from_records(self.mode, out.outputs, chain);

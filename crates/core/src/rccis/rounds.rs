@@ -75,13 +75,13 @@ impl Algorithm for Rccis {
             engine,
             &mut chain,
             self.mark_options,
-        );
+        )?;
         let replicated = flags.iter().filter(|f| f.replicate).count() as u64;
         dfs.write("rccis/flags", flags).expect("fresh dfs path");
 
         // ---- Cycle 2: replicate flagged / project rest; join; own-filter --
         let flags = dfs.read::<FlagRec>("rccis/flags").expect("just written");
-        let records = run_join_cycle(query, &part, &flags, self.mode, engine, &mut chain);
+        let records = run_join_cycle(query, &part, &flags, self.mode, engine, &mut chain)?;
 
         let mut out = JoinOutput::from_records(self.mode, records, chain);
         out.stats.replicated_intervals = Some(replicated);
@@ -99,7 +99,7 @@ pub(crate) fn run_marking_cycle(
     engine: &Engine,
     chain: &mut JobChain,
     opts: crate::rccis::marking::MarkOptions,
-) -> Vec<FlagRec> {
+) -> Result<Vec<FlagRec>, AlgoError> {
     let m = query.num_relations() as usize;
     let q = query.clone();
     let partc = part.clone();
@@ -149,9 +149,9 @@ pub(crate) fn run_marking_cycle(
                 }
             }
         },
-    );
+    )?;
     chain.push(out.metrics);
-    out.outputs
+    Ok(out.outputs)
 }
 
 /// Cycle 2: route by flag, join, and emit owned tuples (max start point in
@@ -163,7 +163,7 @@ pub(crate) fn run_join_cycle(
     mode: OutputMode,
     engine: &Engine,
     chain: &mut JobChain,
-) -> Vec<OutRec> {
+) -> Result<Vec<OutRec>, AlgoError> {
     let m = query.num_relations() as usize;
     let q = query.clone();
     let partc = part.clone();
@@ -220,9 +220,9 @@ pub(crate) fn run_join_cycle(
                 out.push(OutRec::Count(count));
             }
         },
-    );
+    )?;
     chain.push(out.metrics);
-    out.outputs
+    Ok(out.outputs)
 }
 
 #[cfg(test)]

@@ -109,7 +109,7 @@ impl Algorithm for TwoWayJoin {
                     out.push(OutRec::Count(count));
                 }
             },
-        );
+        )?;
 
         let mut chain = JobChain::new();
         chain.push(out.metrics);

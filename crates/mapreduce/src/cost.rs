@@ -136,12 +136,15 @@ impl CostModel {
         }
         let mut slot_loads = vec![0.0f64; slots.min(costs.len())];
         for c in costs {
-            // Assign to the least-loaded slot (first among ties).
-            let (best, _) = slot_loads
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
-                .expect("at least one slot");
+            // Assign to the least-loaded slot (first among ties). Written as
+            // a plain scan so no comparator can fail: loads are sums of
+            // non-negative finite costs.
+            let mut best = 0;
+            for (i, load) in slot_loads.iter().enumerate() {
+                if *load < slot_loads[best] {
+                    best = i;
+                }
+            }
             slot_loads[best] += c;
         }
         slot_loads.into_iter().fold(0.0, f64::max)

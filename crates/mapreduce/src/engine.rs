@@ -21,6 +21,7 @@
 //! reported through [`JobMetrics`].
 
 use crate::cost::{CostModel, ReducerCost};
+use crate::error::EngineError;
 use crate::fault::FaultPlan;
 use crate::job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
 use crate::metrics::{Counters, JobMetrics, ReducerLoad};
@@ -32,6 +33,9 @@ use std::collections::BinaryHeap;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+// repolint: allow(wall-clock, file): Instant feeds only the wall/map/shuffle/
+// reduce duration metrics in JobMetrics; durations are never keyed, emitted,
+// or otherwise able to reach job output.
 use std::time::Instant;
 
 /// Default candidate count at which a reduce bucket counts as "heavy" and
@@ -156,17 +160,23 @@ impl Engine {
     /// Output records are ordered by reducer key, then by value emission
     /// order, so results are deterministic regardless of thread count.
     ///
+    /// # Errors
+    /// Returns [`EngineError::MaxAttemptsExceeded`] when an injected fault
+    /// exhausts the fault plan's `max_attempts` (mirroring Hadoop failing
+    /// the job), and [`EngineError::Internal`] if an engine invariant is
+    /// breached (a bug in the engine itself).
+    ///
     /// # Panics
-    /// Panics if an injected fault exceeds the fault plan's `max_attempts`
-    /// (mirroring Hadoop failing the job), or re-raises a mapper/reducer
-    /// panic with its original payload.
+    /// Re-raises a mapper/reducer panic with its original payload — a
+    /// panicking map or reduce function is job-logic failure, exactly like
+    /// an uncaught exception in a Hadoop task.
     pub fn run_job<I, M, O>(
         &self,
         name: &str,
         input: &[I],
         mapper: impl Mapper<I, M>,
         reducer: impl Reducer<M, O>,
-    ) -> JobOutput<O>
+    ) -> Result<JobOutput<O>, EngineError>
     where
         I: Record,
         M: Record,
@@ -205,7 +215,8 @@ impl Engine {
         // ---- Reduce phase ---------------------------------------------------
         let reduce_start = Instant::now();
         let reduce_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
-        let (mut results, loads, reduce_counters) = self.run_reduce_phase(name, buckets, &reducer);
+        let (mut results, loads, reduce_counters) =
+            self.run_reduce_phase(name, buckets, &reducer)?;
         counters.merge(&reduce_counters);
 
         // Concatenate outputs in key order, accounting output volume in the
@@ -265,7 +276,7 @@ impl Engine {
             counters,
         };
 
-        JobOutput { outputs, metrics }
+        Ok(JobOutput { outputs, metrics })
     }
 
     /// Maps `input` in parallel chunks; each worker returns its run locally
@@ -357,7 +368,7 @@ impl Engine {
         job_name: &str,
         buckets: Vec<(ReducerId, Vec<M>)>,
         reducer: &impl Reducer<M, O>,
-    ) -> ReducePhaseResult<O>
+    ) -> Result<ReducePhaseResult<O>, EngineError>
     where
         M: Record,
         O: Record,
@@ -408,6 +419,7 @@ impl Engine {
         let result_slots: Vec<ResultSlot<O>> =
             (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        let mut worker_error: Option<EngineError> = None;
         let mut worker_events: Vec<TraceEvent> = Vec::new();
 
         // Shared state is captured by reference; the `move` below only
@@ -435,21 +447,34 @@ impl Engine {
                                 attempts += 1;
                                 if let Some(plan) = &faults {
                                     if plan.should_fail(job_name, slot.key) {
-                                        assert!(
-                                            attempts < plan.max_attempts(),
-                                            "reducer {} of job {job_name} exceeded max attempts",
-                                            slot.key
-                                        );
+                                        if attempts >= plan.max_attempts() {
+                                            // The job fails, as Hadoop's
+                                            // would; surfaced as a typed
+                                            // error at the join point.
+                                            return Err(EngineError::MaxAttemptsExceeded {
+                                                job: job_name.to_string(),
+                                                reducer: slot.key,
+                                                attempts,
+                                            });
+                                        }
                                         continue; // retry (re-read below)
                                     }
                                 }
-                                let mut vals = if faults.is_some() {
+                                let taken = if faults.is_some() {
                                     // Retryable run: keep the bucket resident and
                                     // hand the reducer a fresh copy per attempt.
-                                    slot.values.lock().clone().expect("bucket consumed twice")
+                                    slot.values.lock().clone()
                                 } else {
                                     // Fault-free run: move the bucket out.
-                                    slot.values.lock().take().expect("bucket consumed twice")
+                                    slot.values.lock().take()
+                                };
+                                // `next.fetch_add` hands each bucket index to
+                                // exactly one worker, so an empty slot means
+                                // an engine bug, not a user error.
+                                let Some(mut vals) = taken else {
+                                    return Err(EngineError::Internal(
+                                        "reduce bucket consumed twice",
+                                    ));
                                 };
                                 let r0 = tracer.map(Tracer::now_us).unwrap_or(0);
                                 let mut out = Vec::new();
@@ -491,7 +516,7 @@ impl Engine {
                                 break;
                             }
                         }
-                        tracer.map(|t| {
+                        Ok(tracer.map(|t| {
                             TraceEvent::span(
                                 SpanKind::Task,
                                 "reduce-worker",
@@ -501,13 +526,16 @@ impl Engine {
                             )
                             .arg("buckets", buckets_run)
                             .arg("intra_budget", intra_budget as u64)
-                        })
+                        }))
                     })
                 })
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(event) => worker_events.extend(event),
+                    Ok(Ok(event)) => worker_events.extend(event),
+                    Ok(Err(e)) => {
+                        worker_error.get_or_insert(e);
+                    }
                     Err(payload) => {
                         panic_payload.get_or_insert(payload);
                     }
@@ -518,13 +546,18 @@ impl Engine {
         if let Some(payload) = panic_payload {
             resume_unwind(payload);
         }
+        if let Some(e) = worker_error {
+            return Err(e);
+        }
 
         let mut outs = Vec::with_capacity(n);
         let mut loads = Vec::with_capacity(n);
         let mut counters = Counters::new();
         let mut reduce_events: Vec<TraceEvent> = Vec::new();
         for slot in result_slots {
-            let r = slot.into_inner().expect("reducer result missing");
+            let r = slot
+                .into_inner()
+                .ok_or(EngineError::Internal("reducer left no result"))?;
             outs.push((r.key, r.out));
             loads.push(r.load);
             counters.merge(&r.counters);
@@ -536,7 +569,7 @@ impl Engine {
             t.record_batch(reduce_events);
             t.record_batch(worker_events);
         }
-        (outs, loads, counters)
+        Ok((outs, loads, counters))
     }
 }
 
@@ -571,7 +604,13 @@ pub fn merge_sorted_runs<M: Record>(
     let mut buckets: Vec<(ReducerId, Vec<M>)> = Vec::new();
     let mut stats = ShuffleStats::default();
     while let Some(Reverse((key, run))) = heap.pop() {
-        let (_, value) = heads[run].take().expect("heap entry without a head");
+        // A heap entry is pushed only when `heads[run]` was just refilled,
+        // so a missing head is unreachable; skip defensively over panicking
+        // in the shuffle hot path.
+        let Some((_, value)) = heads[run].take() else {
+            debug_assert!(false, "heap entry without a head");
+            continue;
+        };
         stats.pairs += 1;
         stats.bytes += value.approx_bytes() + 8;
         match buckets.last_mut() {
@@ -601,14 +640,16 @@ mod tests {
 
     #[test]
     fn groups_all_values_for_a_key() {
-        let out = engine().run_job(
-            "group",
-            &[1u64, 2, 3, 4, 5, 6, 7, 8],
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 2, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((ctx.key, vs.iter().sum()));
-            },
-        );
+        let out = engine()
+            .run_job(
+                "group",
+                &[1u64, 2, 3, 4, 5, 6, 7, 8],
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 2, n),
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.iter().sum()));
+                },
+            )
+            .unwrap();
         assert_eq!(out.outputs, vec![(0, 20), (1, 16)]);
         assert_eq!(out.metrics.distinct_reducers, 2);
         assert_eq!(out.metrics.map_input_records, 8);
@@ -619,14 +660,16 @@ mod tests {
         // All values to one key: reducer must see input order even though
         // the map phase ran on 3 threads.
         let input: Vec<u64> = (0..1000).collect();
-        let out = engine().run_job(
-            "order",
-            &input,
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
-                out.append(vs);
-            },
-        );
+        let out = engine()
+            .run_job(
+                "order",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                    out.append(vs);
+                },
+            )
+            .unwrap();
         assert_eq!(out.outputs, input);
     }
 
@@ -655,6 +698,7 @@ mod tests {
                     }
                 },
             )
+            .unwrap()
             .outputs
         };
         let base = run(1);
@@ -665,12 +709,14 @@ mod tests {
 
     #[test]
     fn empty_input_produces_empty_job() {
-        let out = engine().run_job(
-            "empty",
-            &Vec::<u64>::new(),
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
-        );
+        let out = engine()
+            .run_job(
+                "empty",
+                &Vec::<u64>::new(),
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+            )
+            .unwrap();
         assert!(out.outputs.is_empty());
         assert_eq!(out.metrics.intermediate_pairs, 0);
         assert_eq!(out.metrics.distinct_reducers, 0);
@@ -678,18 +724,20 @@ mod tests {
 
     #[test]
     fn metrics_count_pairs_and_outputs() {
-        let out = engine().run_job(
-            "metrics",
-            &[10u64, 20, 30],
-            |&n: &u64, e: &mut Emitter<u64>| {
-                // Each record to 2 reducers: 6 pairs.
-                e.emit(0, n);
-                e.emit(1, n);
-            },
-            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
-                out.push(vs.len() as u64);
-            },
-        );
+        let out = engine()
+            .run_job(
+                "metrics",
+                &[10u64, 20, 30],
+                |&n: &u64, e: &mut Emitter<u64>| {
+                    // Each record to 2 reducers: 6 pairs.
+                    e.emit(0, n);
+                    e.emit(1, n);
+                },
+                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                    out.push(vs.len() as u64);
+                },
+            )
+            .unwrap();
         assert_eq!(out.metrics.intermediate_pairs, 6);
         assert_eq!(out.metrics.output_records, 2);
         assert_eq!(out.metrics.shuffle_bytes, 6 * 16);
@@ -701,14 +749,16 @@ mod tests {
     #[test]
     fn phase_walls_are_recorded_and_bounded_by_total() {
         let input: Vec<u64> = (0..2000).collect();
-        let out = engine().run_job(
-            "phases",
-            &input,
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 16, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((ctx.key, vs.iter().sum()));
-            },
-        );
+        let out = engine()
+            .run_job(
+                "phases",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 16, n),
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.iter().sum()));
+                },
+            )
+            .unwrap();
         let m = &out.metrics;
         let phases = m.map_wall + m.shuffle_wall + m.reduce_wall;
         assert!(phases <= m.wall, "phases {phases:?} > wall {:?}", m.wall);
@@ -719,29 +769,33 @@ mod tests {
 
     #[test]
     fn reducer_work_units_recorded() {
-        let out = engine().run_job(
-            "work",
-            &[1u64, 2, 3],
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
-                ctx.add_work(100);
-                out.append(vs);
-            },
-        );
+        let out = engine()
+            .run_job(
+                "work",
+                &[1u64, 2, 3],
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                    ctx.add_work(100);
+                    out.append(vs);
+                },
+            )
+            .unwrap();
         assert_eq!(out.metrics.total_work(), 100);
     }
 
     #[test]
     fn fault_injection_retries_deterministically() {
         let input: Vec<u64> = (0..100).collect();
-        let clean = engine().run_job(
-            "faulty",
-            &input,
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((ctx.key, vs.iter().sum()));
-            },
-        );
+        let clean = engine()
+            .run_job(
+                "faulty",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.iter().sum()));
+                },
+            )
+            .unwrap();
         let faulty = Engine::new(ClusterConfig {
             reducer_slots: 4,
             worker_threads: 3,
@@ -756,7 +810,8 @@ mod tests {
             |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
                 out.push((ctx.key, vs.iter().sum()));
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             faulty.outputs, clean.outputs,
             "retry must not change output"
@@ -772,9 +827,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeded max attempts")]
     fn fault_exceeding_attempts_fails_job() {
-        let _ = Engine::new(ClusterConfig::with_slots(2))
+        let result = Engine::new(ClusterConfig::with_slots(2))
             .with_faults(FaultPlan::new().fail("j", 0, 10).with_max_attempts(3))
             .run_job(
                 "j",
@@ -782,34 +836,50 @@ mod tests {
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
                 |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
             );
+        match result {
+            Err(EngineError::MaxAttemptsExceeded {
+                job,
+                reducer,
+                attempts,
+            }) => {
+                assert_eq!(job, "j");
+                assert_eq!(reducer, 0);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected MaxAttemptsExceeded, got {other:?}"),
+        }
     }
 
     #[test]
     #[should_panic(expected = "mapper exploded on 7")]
     fn map_panic_payload_is_reraised() {
-        let _ = engine().run_job(
-            "boom",
-            &(0..32u64).collect::<Vec<_>>(),
-            |&n: &u64, e: &mut Emitter<u64>| {
-                assert!(n != 7, "mapper exploded on {n}");
-                e.emit(0, n);
-            },
-            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
-        );
+        let _ = engine()
+            .run_job(
+                "boom",
+                &(0..32u64).collect::<Vec<_>>(),
+                |&n: &u64, e: &mut Emitter<u64>| {
+                    assert!(n != 7, "mapper exploded on {n}");
+                    e.emit(0, n);
+                },
+                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+            )
+            .unwrap();
     }
 
     #[test]
     #[should_panic(expected = "reducer exploded on key 3")]
     fn reduce_panic_payload_is_reraised() {
-        let _ = engine().run_job(
-            "boom",
-            &(0..32u64).collect::<Vec<_>>(),
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
-                assert!(ctx.key != 3, "reducer exploded on key {}", ctx.key);
-                out.append(vs);
-            },
-        );
+        let _ = engine()
+            .run_job(
+                "boom",
+                &(0..32u64).collect::<Vec<_>>(),
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                    assert!(ctx.key != 3, "reducer exploded on key {}", ctx.key);
+                    out.append(vs);
+                },
+            )
+            .unwrap();
     }
 
     #[test]
@@ -850,21 +920,23 @@ mod tests {
 
     #[test]
     fn counters_merge_from_map_and_reduce() {
-        let out = engine().run_job(
-            "counted",
-            &(0..100u64).collect::<Vec<_>>(),
-            |&n: &u64, e: &mut Emitter<u64>| {
-                e.inc("map.seen", 1);
-                if n % 2 == 0 {
-                    e.inc("map.even", 1);
-                }
-                e.emit(n % 4, n);
-            },
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                ctx.inc("reduce.values", vs.len() as u64);
-                out.push((ctx.key, vs.iter().sum()));
-            },
-        );
+        let out = engine()
+            .run_job(
+                "counted",
+                &(0..100u64).collect::<Vec<_>>(),
+                |&n: &u64, e: &mut Emitter<u64>| {
+                    e.inc("map.seen", 1);
+                    if n % 2 == 0 {
+                        e.inc("map.even", 1);
+                    }
+                    e.emit(n % 4, n);
+                },
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    ctx.inc("reduce.values", vs.len() as u64);
+                    out.push((ctx.key, vs.iter().sum()));
+                },
+            )
+            .unwrap();
         let c = &out.metrics.counters;
         assert_eq!(c.get("map.seen"), 100);
         assert_eq!(c.get("map.even"), 50);
@@ -894,6 +966,7 @@ mod tests {
                     out.push(vs.len() as u64);
                 },
             )
+            .unwrap()
             .metrics
             .counters
             .clone()
@@ -914,15 +987,17 @@ mod tests {
             ..ClusterConfig::default()
         })
         .with_tracer(tracer.clone());
-        let _ = eng.run_job(
-            "traced",
-            &(0..64u64).collect::<Vec<_>>(),
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 4, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                ctx.add_work(vs.len() as u64);
-                out.push((ctx.key, vs.iter().sum()));
-            },
-        );
+        let _ = eng
+            .run_job(
+                "traced",
+                &(0..64u64).collect::<Vec<_>>(),
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 4, n),
+                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                    ctx.add_work(vs.len() as u64);
+                    out.push((ctx.key, vs.iter().sum()));
+                },
+            )
+            .unwrap();
         let events = tracer.snapshot();
         let names_of = |kind: SpanKind| -> Vec<String> {
             events
@@ -965,12 +1040,14 @@ mod tests {
     fn no_tracer_records_nothing() {
         let eng = engine();
         assert!(eng.tracer().is_none());
-        let out = eng.run_job(
-            "untraced",
-            &[1u64, 2, 3],
-            |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-            |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
-        );
+        let out = eng
+            .run_job(
+                "untraced",
+                &[1u64, 2, 3],
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+            )
+            .unwrap();
         assert_eq!(out.outputs, vec![1, 2, 3]);
         assert!(out.metrics.counters.is_empty());
     }
@@ -1002,7 +1079,9 @@ mod tests {
         };
 
         let before = TRACKED_CLONES.load(Ordering::SeqCst);
-        let clean = engine().run_job("noclone", &input, mapper, reducer);
+        let clean = engine()
+            .run_job("noclone", &input, mapper, reducer)
+            .unwrap();
         let clean_clones = TRACKED_CLONES.load(Ordering::SeqCst) - before;
         assert_eq!(clean_clones, 0, "fault-free path must not clone buckets");
 
@@ -1014,7 +1093,8 @@ mod tests {
             ..ClusterConfig::default()
         })
         .with_faults(FaultPlan::new().fail("noclone", 1, 1))
-        .run_job("noclone", &input, mapper, reducer);
+        .run_job("noclone", &input, mapper, reducer)
+        .unwrap();
         let fault_clones = TRACKED_CLONES.load(Ordering::SeqCst) - before;
         // One clone per successful attempt: 4 buckets, each reduced once
         // (failed attempts bail before reading values): 64 values across 4

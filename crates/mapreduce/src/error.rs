@@ -1,0 +1,72 @@
+//! Typed engine failures.
+//!
+//! The engine never panics on its own behalf: every failure mode it can
+//! detect — a fault plan exhausting a reducer's retry budget, or a breached
+//! internal invariant — surfaces as an [`EngineError`] from
+//! [`crate::Engine::run_job`]. Panics raised *inside user map/reduce
+//! functions* are still re-raised with their original payload (they are
+//! bugs in job logic, not engine failures), mirroring Hadoop failing a task
+//! on an uncaught exception.
+//!
+//! Keeping the engine's own paths panic-free is a determinism requirement
+//! as much as an ergonomic one: a panic mid-reduce tears down workers at a
+//! thread-schedule-dependent point, while a typed error propagates through
+//! one deterministic join point. `repolint` rule `no-panic` enforces this
+//! contract statically over the engine sources.
+
+use crate::job::ReducerId;
+use std::fmt;
+
+/// Error from one map-reduce cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A reducer task failed more times than the fault plan's
+    /// `max_attempts` allows — the in-process analogue of Hadoop failing
+    /// the job after `mapred.reduce.max.attempts`.
+    MaxAttemptsExceeded {
+        /// The job whose reducer kept failing.
+        job: String,
+        /// The reducer key.
+        reducer: ReducerId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// An engine invariant was breached — always a bug in the engine, never
+    /// a user error. The payload names the invariant.
+    Internal(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MaxAttemptsExceeded {
+                job,
+                reducer,
+                attempts,
+            } => write!(
+                f,
+                "reducer {reducer} of job {job} exceeded max attempts ({attempts} tries)"
+            ),
+            EngineError::Internal(what) => write!(f, "engine invariant breached: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = EngineError::MaxAttemptsExceeded {
+            job: "j".into(),
+            reducer: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("reducer 3"));
+        assert!(e.to_string().contains("job j"));
+        assert!(EngineError::Internal("x").to_string().contains('x'));
+    }
+}

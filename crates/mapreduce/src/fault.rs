@@ -9,7 +9,7 @@
 
 use crate::job::ReducerId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A set of one-shot reducer failures to inject, keyed by
 /// `(job name, reducer key)`. Each entry fails that reducer's first
@@ -17,7 +17,7 @@ use std::collections::HashMap;
 /// [`FaultPlan::max_attempts`] is exceeded.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
-    failures: Mutex<HashMap<(String, ReducerId), u32>>,
+    failures: Mutex<BTreeMap<(String, ReducerId), u32>>,
     max_attempts: u32,
 }
 
@@ -26,7 +26,7 @@ impl FaultPlan {
     /// matching Hadoop's default `mapred.reduce.max.attempts`.
     pub fn new() -> Self {
         FaultPlan {
-            failures: Mutex::new(HashMap::new()),
+            failures: Mutex::new(BTreeMap::new()),
             max_attempts: 4,
         }
     }

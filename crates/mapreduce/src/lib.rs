@@ -41,7 +41,7 @@
 //!     |ctx: &mut ReduceCtx, values: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
 //!         out.push((ctx.key, values.iter().sum()));
 //!     },
-//! );
+//! ).unwrap();
 //! assert_eq!(out.outputs, vec![(0, 9), (1, 5), (2, 7)]);
 //! assert_eq!(out.metrics.intermediate_pairs, 6);
 //! ```
@@ -50,6 +50,7 @@ pub mod chain;
 pub mod cost;
 pub mod dfs;
 pub mod engine;
+pub mod error;
 pub mod fault;
 pub mod job;
 pub mod metrics;
@@ -60,6 +61,7 @@ pub use chain::JobChain;
 pub use cost::{CostModel, PhaseCost};
 pub use dfs::Dfs;
 pub use engine::{merge_sorted_runs, ClusterConfig, Engine, JobOutput, ShuffleStats};
+pub use error::EngineError;
 pub use fault::FaultPlan;
 pub use job::{Emitter, MapCtx, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
 pub use metrics::{Counters, JobMetrics, ReducerLoad, SkewReport};

@@ -88,6 +88,7 @@ proptest! {
                     out.push(vs.len() as u64);
                 },
             )
+            .unwrap()
             .metrics
             .counters
             .clone()

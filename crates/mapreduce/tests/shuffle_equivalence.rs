@@ -89,6 +89,7 @@ proptest! {
                     }
                 },
             )
+            .unwrap()
         };
         let base = run(1);
         for threads in [2usize, 8] {

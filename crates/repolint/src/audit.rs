@@ -1,0 +1,249 @@
+//! The dynamic determinism auditor (`repolint audit`).
+//!
+//! The static rules exist to protect one property: a job chain's output
+//! is byte-identical for every worker-thread count. This module checks
+//! the property directly — it runs the full algorithm suite (RCCIS,
+//! cascade, 1-Bucket, All-Replicate and the matrix family) on a seeded
+//! workload under `worker_threads` 1, 2 and 8, serializes each run's
+//! output **through the Dfs** (the same store the algorithms chain
+//! cycles through), and byte-diffs the Dfs contents across thread
+//! counts. User counters from the whole chain are serialized into the
+//! same snapshot, so counter drift fails the audit too.
+//!
+//! The workload comes from a tiny in-module LCG rather than an RNG
+//! crate: the auditor itself must be deterministic (rule `wall-clock`
+//! applies to this crate as well).
+
+use ij_core::all_matrix::AllMatrix;
+use ij_core::all_replicate::AllReplicate;
+use ij_core::cascade::TwoWayCascade;
+use ij_core::gen_matrix::GenMatrix;
+use ij_core::hybrid::{AllSeqMatrix, Fcts, Fstc, Pasm};
+use ij_core::one_bucket::OneBucketTheta;
+use ij_core::rccis::Rccis;
+use ij_core::two_way::TwoWayJoin;
+use ij_core::{Algorithm, JoinInput};
+use ij_interval::AllenPredicate::{Before, Overlaps};
+use ij_interval::{Interval, Relation};
+use ij_mapreduce::{ClusterConfig, CostModel, Dfs, Engine};
+use ij_query::JoinQuery;
+
+/// Thread counts every algorithm family is audited under.
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The audit verdict for one algorithm family.
+#[derive(Debug)]
+pub struct AuditCase {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Whether all thread counts produced byte-identical snapshots.
+    pub identical: bool,
+    /// Output tuple count of the baseline run (sanity: the workload must
+    /// actually exercise the join).
+    pub output_count: u64,
+    /// Which thread counts diverged from the single-thread baseline.
+    pub diverged: Vec<usize>,
+}
+
+/// The full audit result.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// One entry per algorithm family.
+    pub cases: Vec<AuditCase>,
+}
+
+impl AuditReport {
+    /// Whether every family was byte-identical across all thread counts.
+    pub fn deterministic(&self) -> bool {
+        !self.cases.is_empty() && self.cases.iter().all(|c| c.identical)
+    }
+
+    /// Human-readable summary, one line per family.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:16} threads {:?}: {} ({} output tuples)\n",
+                c.algorithm,
+                THREAD_COUNTS,
+                if c.identical {
+                    "byte-identical".to_string()
+                } else {
+                    format!("DIVERGED at threads {:?}", c.diverged)
+                },
+                c.output_count,
+            ));
+        }
+        out.push_str(if self.deterministic() {
+            "audit: PASS — all families byte-identical across thread counts\n"
+        } else {
+            "audit: FAIL — nondeterministic output detected\n"
+        });
+        out
+    }
+}
+
+/// A splitmix-style LCG: deterministic, dependency-free workload seeds.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Builds a seeded workload of `n` intervals per relation over a dense
+/// time domain (plenty of overlap, so every algorithm family produces
+/// output and heavy buckets engage the parallel kernels).
+fn workload(q: &JoinQuery, seed: u64, n: usize) -> JoinInput {
+    let mut rng = Lcg(seed);
+    let rels: Vec<Relation> = (0..q.num_relations())
+        .map(|r| {
+            Relation::from_intervals(
+                format!("R{r}"),
+                (0..n).map(|_| {
+                    let s = (rng.next() % 400) as i64;
+                    let len = (rng.next() % 50) as i64;
+                    Interval::new(s, s + len).expect("len >= 0")
+                }),
+            )
+        })
+        .collect();
+    JoinInput::bind_owned(q, rels).expect("relation count matches query")
+}
+
+fn engine_with_threads(threads: usize) -> Engine {
+    Engine::new(ClusterConfig {
+        reducer_slots: 4,
+        worker_threads: threads,
+        intra_reduce_threads: threads,
+        // Low threshold so the intra-reducer parallel kernels actually
+        // engage — the audit must cover the chunked execution path.
+        heavy_bucket_threshold: 64,
+        cost: CostModel::default(),
+    })
+}
+
+/// The audited suite: every algorithm family with a query class it
+/// supports (colocation for RCCIS/All-Rep, hybrid for the cascade and
+/// matrix family, sequence for All-Matrix, two-way for 1-Bucket).
+fn suite() -> Vec<(Box<dyn Algorithm>, JoinQuery)> {
+    let colo = JoinQuery::chain(&[Overlaps, Overlaps]).expect("colocation chain");
+    let hybrid = JoinQuery::chain(&[Overlaps, Before]).expect("hybrid chain");
+    let seq = JoinQuery::chain(&[Before, Before]).expect("sequence chain");
+    let pair = JoinQuery::chain(&[Overlaps]).expect("two-way chain");
+    vec![
+        (Box::new(Rccis::new(6)) as Box<dyn Algorithm>, colo.clone()),
+        (Box::new(AllReplicate::new(4)), colo.clone()),
+        (Box::new(TwoWayCascade::new(4)), hybrid.clone()),
+        (Box::new(AllMatrix::new(3)), seq.clone()),
+        (Box::new(AllSeqMatrix::new(3)), hybrid.clone()),
+        (Box::new(Pasm::new(3)), hybrid.clone()),
+        (Box::new(GenMatrix::new(3)), hybrid.clone()),
+        (Box::new(Fcts::new(4, 3)), hybrid.clone()),
+        (Box::new(Fstc::new(4, 3)), hybrid),
+        (Box::new(OneBucketTheta::new(4, 4)), pair.clone()),
+        (Box::new(TwoWayJoin::new(4)), pair),
+    ]
+}
+
+/// One run's byte snapshot: output tuples in emission order plus the
+/// chain's merged user counters, written through and read back from a
+/// fresh [`Dfs`].
+fn snapshot(
+    algo: &dyn Algorithm,
+    q: &JoinQuery,
+    input: &JoinInput,
+    threads: usize,
+) -> Result<(Vec<u8>, u64), String> {
+    let engine = engine_with_threads(threads);
+    let out = algo
+        .run(q, input, &engine)
+        .map_err(|e| format!("{} failed under {threads} threads: {e}", algo.name()))?;
+    let mut lines = Vec::with_capacity(out.tuples.len() + 8);
+    lines.push(format!("algorithm={}", algo.name()));
+    lines.push(format!("count={}", out.count));
+    for t in &out.tuples {
+        lines.push(format!("{t:?}"));
+    }
+    for (k, v) in out.chain.total_counters().iter() {
+        // `kernel.parallel_buckets` counts buckets that physically ran
+        // chunked — execution shape, not data plane. Like the wall-time
+        // metrics it is legitimately thread-count-dependent, so it is
+        // excluded from the byte-diff. Every data-plane counter
+        // (emission, candidate, replica and kernel-routing counts) stays.
+        if k == "kernel.parallel_buckets" {
+            continue;
+        }
+        lines.push(format!("counter {k}={v}"));
+    }
+    let dfs = Dfs::new();
+    let path = format!("audit/{}", algo.name());
+    dfs.write(&path, lines)
+        .map_err(|e| format!("dfs write failed: {e}"))?;
+    let stored = dfs
+        .read::<String>(&path)
+        .map_err(|e| format!("dfs read failed: {e}"))?;
+    Ok((stored.join("\n").into_bytes(), out.count))
+}
+
+/// Runs the audit. `scale` is the per-relation interval count (the CLI
+/// default is 120 — small enough to finish in seconds, dense enough to
+/// produce thousands of candidate pairs per reducer).
+pub fn run_audit(scale: usize) -> Result<AuditReport, String> {
+    let mut report = AuditReport::default();
+    for (algo, q) in suite() {
+        let input = workload(&q, 0x5eed + q.num_relations() as u64, scale);
+        let (base, count) = snapshot(algo.as_ref(), &q, &input, THREAD_COUNTS[0])?;
+        let mut diverged = Vec::new();
+        for &t in &THREAD_COUNTS[1..] {
+            let (bytes, _) = snapshot(algo.as_ref(), &q, &input, t)?;
+            if bytes != base {
+                diverged.push(t);
+            }
+        }
+        report.cases.push(AuditCase {
+            algorithm: algo.name(),
+            identical: diverged.is_empty(),
+            output_count: count,
+            diverged,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = Lcg(7);
+            (0..5).map(|_| r.next()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Lcg(7);
+            (0..5).map(|_| r.next()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_audit_passes_and_produces_output() {
+        let report = run_audit(40).expect("audit runs");
+        assert!(report.deterministic(), "{}", report.render());
+        assert_eq!(report.cases.len(), 11);
+        for c in &report.cases {
+            assert!(
+                c.output_count > 0,
+                "{} produced no output — workload too sparse",
+                c.algorithm
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded violation fixture for rule `unordered-iter` (linted as if it
+//! lived at `crates/core/src/bad.rs`). Not compiled — read as text by
+//! the self-test.
+
+use std::collections::HashMap;
+
+pub fn leak_order(pairs: &[(u64, u64)]) -> Vec<u64> {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in pairs {
+        m.insert(*k, *v);
+    }
+    // Iteration order reaches the returned (emitted) vector.
+    m.into_iter().map(|(_, v)| v).collect()
+}
+
+// A justified marker suppresses the rule on the next line:
+// repolint: allow(unordered-iter): drained into a sort below
+fn allowed_use(m: std::collections::HashSet<u64>) -> usize {
+    m.len()
+}

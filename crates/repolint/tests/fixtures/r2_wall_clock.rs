@@ -1,0 +1,13 @@
+//! Seeded violation fixture for rule `wall-clock` (linted as if it lived
+//! at `crates/core/src/bad.rs`). Not compiled — read as text by the
+//! self-test.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp_output(out: &mut Vec<String>) {
+    // Wall-clock readings written into job output: the canonical breach.
+    let t0 = Instant::now();
+    out.push(format!("{:?} {:?}", t0.elapsed(), SystemTime::now()));
+    // Thread identity leaking into output keys:
+    out.push(format!("{:?}", std::thread::current().id()));
+}

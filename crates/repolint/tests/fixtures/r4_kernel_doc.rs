@@ -1,0 +1,24 @@
+//! Seeded violation fixture for rule `kernel-doc` (linted as if it lived
+//! at `crates/core/src/kernel/bad.rs`). Not compiled — read as text by
+//! the self-test.
+
+/// Joins the bucket quickly. (Vague: states no assumptions at all.)
+pub fn undocumented_precondition(x: u64) -> u64 {
+    x
+}
+
+pub fn no_doc_at_all(x: u64) -> u64 {
+    x
+}
+
+/// Complete for any single-attribute query; sequence condition sets fall
+/// back to the windowed kernel.
+#[inline]
+pub fn properly_documented(x: u64) -> u64 {
+    x
+}
+
+// Internal helpers are out of scope:
+pub(crate) fn helper(x: u64) -> u64 {
+    x
+}

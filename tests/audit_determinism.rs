@@ -1,0 +1,38 @@
+//! Whole-suite determinism: every algorithm family, threads 1/2/8.
+//!
+//! PR 3's kernel tests proved chunked intra-bucket execution is
+//! order-preserving; `tests/determinism.rs` checks two families
+//! end-to-end. This test closes the gap by driving `repolint`'s dynamic
+//! auditor, which runs *all eleven* algorithm families on a seeded
+//! workload under `worker_threads`/`intra_reduce_threads` 1, 2 and 8
+//! with a low heavy-bucket threshold (so the parallel kernels engage),
+//! serializes each run's output tuples and chain `total_counters`
+//! through the Dfs, and byte-diffs the snapshots across thread counts.
+
+use repolint::audit::{run_audit, THREAD_COUNTS};
+
+#[test]
+fn all_algorithm_families_are_byte_identical_across_thread_counts() {
+    let report = run_audit(80).expect("audit suite runs");
+    assert_eq!(
+        report.cases.len(),
+        11,
+        "expected every algorithm family to be audited"
+    );
+    for case in &report.cases {
+        assert!(
+            case.identical,
+            "{} diverged from the single-thread baseline at threads {:?} \
+             (of {THREAD_COUNTS:?})",
+            case.algorithm, case.diverged
+        );
+        // The workload must actually exercise the join — a zero-output
+        // run would pass the diff vacuously.
+        assert!(
+            case.output_count > 0,
+            "{} produced no output tuples",
+            case.algorithm
+        );
+    }
+    assert!(report.deterministic());
+}
