@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use ij_datagen::Distribution;
 use ij_mapreduce::{
     merge_sorted_runs, ClusterConfig, CostModel, Emitter, Engine, FaultPlan, ReduceCtx, ReducerId,
-    SortedRun,
+    SortedRun, ValueStream,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,8 +74,8 @@ fn bench_reduce_ownership(c: &mut Criterion) {
             "bench-reduce",
             &input,
             |&n: &u64, em: &mut Emitter<u64>| em.emit(n % 64, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((ctx.key, vs.iter().sum()));
+            |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.sum()));
             },
         )
         .unwrap()

@@ -17,7 +17,7 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin sweep [--scale f]`.
 
-use ij_bench::report::{fmt_phases, fmt_sim, Report};
+use ij_bench::report::{fmt_phases, fmt_sim, fmt_spill, Report};
 use ij_bench::scale::BenchArgs;
 use ij_bench::scenarios::{assert_same_output, measure, traced_engine, write_trace};
 use ij_core::all_matrix::AllMatrix;
@@ -34,7 +34,7 @@ fn main() {
         0.03,
         "sweep: ablations (distributions, scale crossover, D1)",
     );
-    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some());
+    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some(), args.budget);
 
     // ---- 1. Distribution sweep on Q1 ---------------------------------------
     let q1 = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
@@ -48,12 +48,19 @@ fn main() {
             "sim RCCIS",
             "repl RCCIS",
             "output",
+            "spill RCCIS",
         ],
     );
     let n = args.scale.apply(1_000_000);
     rep.note(format!(
         "nI={n} per relation, dI=Uniform, range=(0,100K), lengths=(1,100)"
     ));
+    match args.budget {
+        Some(b) => rep.note(format!(
+            "reduce memory budget {b}B/bucket (spill col: buckets/runs/bytes + spill wall time)"
+        )),
+        None => rep.note("reduce memory budget unlimited — no spilling"),
+    }
     for (name, ds) in [
         ("uniform", Distribution::Uniform),
         ("normal", Distribution::Normal),
@@ -123,6 +130,7 @@ fn main() {
             fmt_sim(rc.simulated).into(),
             rc.replicated.unwrap_or(0).into(),
             rc.output.into(),
+            fmt_spill(&rc.counters, rc.spill_secs).into(),
         ]);
     }
     rep.finish(None);

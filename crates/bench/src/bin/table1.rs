@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin table1 [--scale f]`.
 
-use ij_bench::report::{fmt_phases, fmt_sim, skew_report_table, skew_row, Report};
+use ij_bench::report::{fmt_phases, fmt_sim, fmt_spill, skew_report_table, skew_row, Report};
 use ij_bench::scale::BenchArgs;
 use ij_bench::scenarios::{assert_same_output, measure, traced_engine, write_trace};
 use ij_core::all_replicate::AllReplicate;
@@ -24,7 +24,7 @@ fn main() {
         0.05,
         "table1: Q1 = R1 ov R2 ov R3, varying nI (paper: 0.5M..1.25M)",
     );
-    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some());
+    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some(), args.budget);
     let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
     let paper_sizes: [u64; 4] = [500_000, 750_000, 1_000_000, 1_250_000];
     let mut skew_rep = skew_report_table(
@@ -48,12 +48,20 @@ fn main() {
             "pairs RCCIS",
             "output",
             "RCCIS m/s/r",
+            "spill RCCIS",
         ],
     );
     report.note(format!(
         "dS,dI=Uniform (t_min,t_max)=(0,100K) (i_min,i_max)=(1,100) slots={} scale={} (paper sizes x scale)",
         args.slots, args.scale
     ));
+    match args.budget {
+        Some(b) => report.note(format!(
+            "reduce memory budget {b}B/bucket — oversized buckets spill to the Dfs \
+             (spill col: buckets/runs/bytes + spill wall time)"
+        )),
+        None => report.note("reduce memory budget unlimited — no spilling"),
+    }
 
     for (i, &paper_n) in paper_sizes.iter().enumerate() {
         let n = args.scale.apply(paper_n);
@@ -127,13 +135,15 @@ fn main() {
             rc.pairs.into(),
             rc.output.into(),
             fmt_phases(rc.map_secs, rc.shuffle_secs, rc.reduce_secs).into(),
+            fmt_spill(&rc.counters, rc.spill_secs).into(),
         ]);
         eprintln!(
-            "  nI={n}: wall 2wCd {:.2}s, AllRep {:.2}s, RCCIS {:.2}s (RCCIS map/shuffle/reduce {})",
+            "  nI={n}: wall 2wCd {:.2}s, AllRep {:.2}s, RCCIS {:.2}s (RCCIS map/shuffle/reduce {}, spill {})",
             cd.wall_secs,
             ar.wall_secs,
             rc.wall_secs,
-            fmt_phases(rc.map_secs, rc.shuffle_secs, rc.reduce_secs)
+            fmt_phases(rc.map_secs, rc.shuffle_secs, rc.reduce_secs),
+            fmt_spill(&rc.counters, rc.spill_secs)
         );
     }
     report.finish(args.json.as_deref());

@@ -1,7 +1,7 @@
 //! Result tables: aligned console output plus machine-readable JSON (used
 //! to regenerate EXPERIMENTS.md).
 
-use ij_mapreduce::{ReducerLoad, SkewReport};
+use ij_mapreduce::{Counters, ReducerLoad, SkewReport};
 use serde::Serialize;
 use std::io::Write;
 
@@ -211,6 +211,24 @@ pub fn fmt_phases(map_secs: f64, shuffle_secs: f64, reduce_secs: f64) -> String 
     )
 }
 
+/// Formats one measurement's spill activity from its `spill.*` counters
+/// and spill wall time: `-` when nothing spilled (no budget, or every
+/// bucket fit), else `"<buckets>b/<runs>r/<bytes>B <secs>"`.
+pub fn fmt_spill(counters: &Counters, spill_secs: f64) -> String {
+    let buckets = counters.get("spill.buckets");
+    if buckets == 0 {
+        "-".to_string()
+    } else {
+        format!(
+            "{}b/{}r/{}B {}",
+            buckets,
+            counters.get("spill.runs"),
+            counters.get("spill.bytes"),
+            fmt_secs(spill_secs)
+        )
+    }
+}
+
 fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {
         format!("{s:.2}s")
@@ -295,6 +313,17 @@ pub fn load_histogram(loads: &[ReducerLoad], width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fmt_spill_shows_dash_without_spills() {
+        let mut c = Counters::new();
+        assert_eq!(fmt_spill(&c, 0.0), "-");
+        c.inc("spill.buckets", 2);
+        c.inc("spill.runs", 5);
+        c.inc("spill.bytes", 4096);
+        let s = fmt_spill(&c, 0.25);
+        assert!(s.starts_with("2b/5r/4096B"), "{s}");
+    }
 
     #[test]
     fn renders_aligned_table() {

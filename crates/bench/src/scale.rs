@@ -31,7 +31,7 @@ impl fmt::Display for Scale {
 /// Minimal CLI argument parser shared by the bench binaries.
 ///
 /// Recognized flags: `--scale <f64>`, `--seed <u64>`, `--json <path>`,
-/// `--slots <usize>`, `--trace <path>`, `--help`.
+/// `--slots <usize>`, `--trace <path>`, `--budget <bytes>`, `--help`.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Workload scale relative to the paper.
@@ -45,6 +45,10 @@ pub struct BenchArgs {
     /// Where to write a Chrome trace-event JSON of every job run (open in
     /// `chrome://tracing` or Perfetto), if anywhere.
     pub trace: Option<String>,
+    /// Reduce-memory budget in approx bytes per reducer bucket; buckets
+    /// exceeding it spill to the Dfs. `None` (the default) keeps every
+    /// bucket in memory.
+    pub budget: Option<u64>,
 }
 
 impl BenchArgs {
@@ -56,7 +60,7 @@ impl BenchArgs {
                 eprintln!("error: {e}\n");
                 eprintln!("{about}");
                 eprintln!(
-                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)"
+                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)\n       --budget <u64> (reduce-memory budget in bytes; oversized buckets spill)"
                 );
                 std::process::exit(2);
             })
@@ -74,6 +78,7 @@ impl BenchArgs {
             json: None,
             slots: 16,
             trace: None,
+            budget: None,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -95,6 +100,13 @@ impl BenchArgs {
                         .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--json" => out.json = Some(value("--json")?),
+                "--budget" => {
+                    out.budget = Some(
+                        value("--budget")?
+                            .parse()
+                            .map_err(|e| format!("--budget: {e}"))?,
+                    )
+                }
                 "--trace" => out.trace = Some(value("--trace")?),
                 "--slots" => {
                     out.slots = value("--slots")?
@@ -125,6 +137,7 @@ mod tests {
         assert_eq!(a.slots, 16);
         assert!(a.json.is_none());
         assert!(a.trace.is_none());
+        assert!(a.budget.is_none());
     }
 
     #[test]
@@ -132,7 +145,7 @@ mod tests {
         let a = BenchArgs::parse_from(
             sv(&[
                 "--scale", "0.5", "--seed", "7", "--json", "out.json", "--slots", "4", "--trace",
-                "t.json",
+                "t.json", "--budget", "4096",
             ]),
             0.05,
             "t",
@@ -143,6 +156,7 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some("out.json"));
         assert_eq!(a.slots, 4);
         assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert_eq!(a.budget, Some(4096));
     }
 
     #[test]
@@ -150,6 +164,7 @@ mod tests {
         assert!(BenchArgs::parse_from(sv(&["--scale"]), 0.1, "t").is_err());
         assert!(BenchArgs::parse_from(sv(&["--scale", "-1"]), 0.1, "t").is_err());
         assert!(BenchArgs::parse_from(sv(&["--wat"]), 0.1, "t").is_err());
+        assert!(BenchArgs::parse_from(sv(&["--budget", "x"]), 0.1, "t").is_err());
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct Measurement {
     pub shuffle_secs: f64,
     /// Reduce-phase wall-clock seconds, summed across cycles.
     pub reduce_secs: f64,
+    /// Spill I/O wall-clock seconds, summed across cycles (zero unless a
+    /// reduce-memory budget made buckets spill).
+    pub spill_secs: f64,
     /// Total intermediate key-value pairs across cycles.
     pub pairs: u64,
     /// Output tuple count.
@@ -44,10 +47,20 @@ pub fn engine(slots: usize) -> Engine {
 }
 
 /// Builds the simulated cluster, attaching a [`Tracer`] when `traced` —
-/// the `--trace <path>` path of the bench binaries. The tracer records
-/// every job run against the engine; dump it with [`write_trace`].
-pub fn traced_engine(slots: usize, traced: bool) -> (Engine, Option<Arc<Tracer>>) {
-    let engine = Engine::new(ClusterConfig::with_slots(slots));
+/// the `--trace <path>` path of the bench binaries — and applying the
+/// `--budget <bytes>` reduce-memory budget when given (oversized reducer
+/// buckets then spill to the Dfs and `spill.*` counters appear in the
+/// tables). The tracer records every job run against the engine; dump it
+/// with [`write_trace`].
+pub fn traced_engine(
+    slots: usize,
+    traced: bool,
+    budget: Option<u64>,
+) -> (Engine, Option<Arc<Tracer>>) {
+    let engine = Engine::new(ClusterConfig {
+        reduce_memory_budget: budget,
+        ..ClusterConfig::with_slots(slots)
+    });
     if traced {
         let tracer = Arc::new(Tracer::new());
         (engine.with_tracer(tracer.clone()), Some(tracer))
@@ -91,6 +104,7 @@ pub fn measure(
         map_secs: out.chain.total_map_wall().as_secs_f64(),
         shuffle_secs: out.chain.total_shuffle_wall().as_secs_f64(),
         reduce_secs: out.chain.total_reduce_wall().as_secs_f64(),
+        spill_secs: out.chain.total_spill_wall().as_secs_f64(),
         pairs: out.chain.total_pairs(),
         output: out.count,
         replicated: out.stats.replicated_intervals,
@@ -147,7 +161,7 @@ mod tests {
 
     #[test]
     fn traced_engine_records_jobs_and_writes_chrome_json() {
-        let (e, tracer) = traced_engine(4, true);
+        let (e, tracer) = traced_engine(4, true, None);
         assert!(tracer.is_some());
         let q = JoinQuery::chain(&[Overlaps]).unwrap();
         let input = JoinInput::bind_owned(
@@ -175,8 +189,38 @@ mod tests {
         assert!(written.starts_with("{\"traceEvents\":["));
         let _ = std::fs::remove_file(&path);
 
-        let (_, no_tracer) = traced_engine(4, false);
+        let (_, no_tracer) = traced_engine(4, false, None);
         assert!(no_tracer.is_none());
         write_trace(None, &no_tracer); // no-op must not panic
+    }
+
+    #[test]
+    fn budgeted_engine_spills_and_reports_spill_time() {
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let many: Vec<Interval> = (0..200)
+            .map(|i| Interval::new(i, i + 300).unwrap())
+            .collect();
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                Relation::from_intervals("A", many.clone()),
+                Relation::from_intervals("B", many),
+            ],
+        )
+        .unwrap();
+        let alg = TwoWayJoin {
+            partitions: 2,
+            mode: OutputMode::Count,
+        };
+        let (unbudgeted, _) = traced_engine(4, false, None);
+        let base = measure(&alg, &q, &input, &unbudgeted);
+        assert_eq!(base.counters.get("spill.buckets"), 0);
+        assert_eq!(base.spill_secs, 0.0);
+
+        let (budgeted, _) = traced_engine(4, false, Some(64));
+        let m = measure(&alg, &q, &input, &budgeted);
+        assert_eq!(m.output, base.output, "budget must not change the join");
+        assert!(m.counters.get("spill.buckets") > 0);
+        assert!(m.spill_secs > 0.0);
     }
 }

@@ -21,7 +21,7 @@ use crate::input::JoinInput;
 use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{AttrRef, JoinQuery};
 
 /// The All-Matrix algorithm.
@@ -106,9 +106,9 @@ impl Algorithm for AllMatrix {
                 let qidx = partc.index_of(rec.iv.start());
                 em.emit_to_all(spacec.cells_eq(rec.rel.idx(), qidx).iter().copied(), rec);
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
                 let mut cands = Candidates::new(m);
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     cands.push(v.rel.idx(), v.iv, v.tid);
                 }
                 cands.finish();

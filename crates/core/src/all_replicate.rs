@@ -17,7 +17,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_interval::{ops, Interval, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{AttrRef, JoinQuery};
 
 /// The All-Replicate baseline.
@@ -108,9 +108,9 @@ impl Algorithm for AllReplicate {
                     }
                 }
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
                 let mut cands = Candidates::new(m);
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     cands.push(v.rel.idx(), v.iv, v.tid);
                 }
                 cands.finish();

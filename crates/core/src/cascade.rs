@@ -17,7 +17,7 @@ use crate::kernel::{range_pair, RangePair};
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{CompRec, OutRec};
 use ij_interval::{bounds_contain, ops, Interval, MapOp, Partitioning, RelId, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, Record, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, Record, ReduceCtx, ValueStream};
 use ij_query::{Condition, JoinQuery};
 
 /// A record of a cascade stage job: either an accumulated composite or a
@@ -278,10 +278,10 @@ pub fn run_stage(
                 }
             }
         },
-        |ctx: &mut ReduceCtx, values: &mut Vec<CascRec>, out: &mut Vec<OutRec>| {
+        |ctx: &mut ReduceCtx, values: &mut ValueStream<CascRec>, out: &mut Vec<OutRec>| {
             let mut comps: Vec<CompRec> = Vec::new();
             let mut bases: Vec<(Interval, TupleId)> = Vec::new();
-            for v in values.drain(..) {
+            for v in values.by_ref() {
                 match v {
                     CascRec::Comp(c) => comps.push(c),
                     CascRec::Base { tid, iv } => bases.push((iv, tid)),

@@ -1,9 +1,11 @@
 //! Reducer-side multi-way join execution.
 //!
-//! Every reducer in every algorithm ultimately does the same thing: given
-//! the intervals it received, grouped per relation, enumerate the
-//! combinations that satisfy all query conditions, keep the ones it *owns*
-//! (the per-algorithm duplicate-elimination rule), and emit them.
+//! Every reducer in every algorithm ultimately does the same thing: drain
+//! its `ValueStream` once (in emission order — the stream may be backed by
+//! the in-memory merge or by spilled Dfs runs, the reducer cannot tell)
+//! into per-relation [`Candidates`] lists, enumerate the combinations that
+//! satisfy all query conditions, keep the ones it *owns* (the
+//! per-algorithm duplicate-elimination rule), and emit them.
 //!
 //! [`join_single_attr`] is the optimized path for single-attribute queries:
 //! candidates are kept sorted by start point, and each backtracking level

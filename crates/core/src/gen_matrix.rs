@@ -17,7 +17,7 @@ use crate::input::JoinInput;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{OutRec, TupleRec, VtxRec};
 use ij_interval::{ops, Interval, Partitioning, RelId, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{Components, JoinQuery};
 use std::collections::BTreeSet;
 
@@ -145,10 +145,12 @@ impl Algorithm for GenMatrix {
                     }
                 }
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<TupleRec>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx,
+                  values: &mut ValueStream<TupleRec>,
+                  out: &mut Vec<OutRec>| {
                 let coords = spacec.decode(ctx.key);
                 let mut lists: Vec<Vec<(TupleId, Vec<Interval>)>> = vec![Vec::new(); m];
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     lists[v.rel.idx()].push((v.tid, v.attrs));
                 }
                 let mut count = 0u64;
@@ -282,14 +284,14 @@ fn run_vertex_marking(
                 }
             }
         },
-        move |ctx: &mut ReduceCtx, values: &mut Vec<VtxRec>, out: &mut Vec<u64>| {
+        move |ctx: &mut ReduceCtx, values: &mut ValueStream<VtxRec>, out: &mut Vec<u64>| {
             let k = (ctx.key / p_count) as usize;
             let p = (ctx.key % p_count) as usize;
             let sq = sub_queries[k].as_ref().expect("multi-vertex component");
             let local_of = &comps_local[k];
             let mut per_rel: Vec<Vec<(Interval, TupleId)>> =
                 vec![Vec::new(); sq.num_relations() as usize];
-            for v in values.iter() {
+            for v in values.by_ref() {
                 let local = local_of[&(v.rel.0, v.attr)];
                 per_rel[local].push((v.iv, v.tid));
             }

@@ -21,7 +21,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{Interval, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{AttrRef, JoinQuery};
 
 /// The All-Seq-Matrix algorithm.
@@ -97,10 +97,10 @@ impl Algorithm for AllSeqMatrix {
                     em.emit_to_all(cells.iter().copied(), &rec.rec);
                 }
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
                 let coords = spacec.decode(ctx.key);
                 let mut cands = Candidates::new(m);
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     cands.push(v.rel.idx(), v.iv, v.tid);
                 }
                 cands.finish();

@@ -12,7 +12,7 @@ use crate::output::{JoinOutput, OutputMode};
 use crate::rccis::Rccis;
 use crate::records::{CompRec, OutRec};
 use ij_interval::{Interval, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, Record, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, Record, ReduceCtx, ValueStream};
 use ij_query::JoinQuery;
 use std::sync::Arc;
 
@@ -181,10 +181,12 @@ impl Algorithm for Fcts {
                     em.emit_to_all(spacec.cells_eq(rec.comp as usize, q).iter().copied(), rec);
                 }
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<TaggedComp>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx,
+                  values: &mut ValueStream<TaggedComp>,
+                  out: &mut Vec<OutRec>| {
                 let l = compsc.len();
                 let mut per_comp: Vec<Vec<CompRec>> = vec![Vec::new(); l];
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     per_comp[v.comp as usize].push(v.rec);
                 }
                 // Cross product over components with sequence checks.

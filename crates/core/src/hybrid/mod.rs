@@ -27,7 +27,7 @@ pub use pasm::Pasm;
 use crate::algorithm::AlgoError;
 use crate::records::{FlagRec, IvRec};
 use ij_interval::{ops, Interval, Partitioning, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ReducerId};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ReducerId, ValueStream};
 use ij_query::{AttrRef, Components, JoinQuery};
 
 /// The first MR cycle shared by All-Seq-Matrix and PASM: runs the RCCIS
@@ -93,14 +93,14 @@ pub(crate) fn run_component_marking(
                 }
             }
         },
-        move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<FlagRec>| {
+        move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<FlagRec>| {
             let key: ReducerId = ctx.key;
             let k = (key / p_count) as usize;
             let p = (key % p_count) as usize;
             match &sub_queries[k] {
                 None => {
                     // Singleton component: never replicated.
-                    for v in values.drain(..) {
+                    for v in values.by_ref() {
                         out.push(FlagRec {
                             rec: v,
                             replicate: false,
@@ -113,10 +113,10 @@ pub(crate) fn run_component_marking(
                     // Remember global identity alongside.
                     let mut globals: Vec<Vec<IvRec>> =
                         vec![Vec::new(); sq.num_relations() as usize];
-                    for v in values.iter() {
+                    for v in values.by_ref() {
                         let l = local_of[v.rel.idx()] as usize;
                         per_rel[l].push((v.iv, v.tid));
-                        globals[l].push(*v);
+                        globals[l].push(v);
                     }
                     let marking = crate::rccis::marking::mark(sq, &partc, p, per_rel);
                     ctx.add_work(marking.work);

@@ -24,7 +24,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{ops, Interval, TupleId};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{AttrRef, JoinQuery};
 use std::collections::BTreeSet;
 
@@ -130,12 +130,12 @@ impl Algorithm for Pasm {
             },
             {
                 let partc = partc.clone();
-                move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<u64>| {
+                move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<u64>| {
                     let k = (ctx.key / p_count) as usize;
                     let p = (ctx.key % p_count) as usize;
                     let (sq, local_of) = sub_queries[k].as_ref().expect("multi component");
                     let mut cands = Candidates::new(sq.num_relations() as usize);
-                    for v in values.drain(..) {
+                    for v in values.by_ref() {
                         cands.push(local_of[v.rel.idx()] as usize, v.iv, v.tid);
                     }
                     cands.finish();
@@ -210,10 +210,10 @@ impl Algorithm for Pasm {
                     em.emit_to_all(cells.iter().copied(), &rec.rec);
                 }
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
                 let coords = spacec.decode(ctx.key);
                 let mut cands = Candidates::new(m);
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     cands.push(v.rel.idx(), v.iv, v.tid);
                 }
                 cands.finish();

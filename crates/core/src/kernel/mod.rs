@@ -27,6 +27,14 @@
 //! work units are chunk-invariant. The owner-`accept` filter runs inside
 //! the workers; the `on_output` sink is only ever called on the caller's
 //! thread.
+//!
+//! **Streaming reducers.** Since the memory-budgeted reduce pipeline,
+//! reducers receive their bucket as a pull-based
+//! [`ij_mapreduce::ValueStream`] and build [`Candidates`] by draining it
+//! once, in emission order — whether the stream is backed by the
+//! in-memory merge or by spilled Dfs runs is invisible here. The kernels
+//! themselves are unchanged: they run over the materialized `Candidates`
+//! index, never over the raw stream.
 
 mod backtrack;
 mod ranges;

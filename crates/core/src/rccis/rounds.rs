@@ -9,7 +9,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{ops, Interval, Partitioning, TupleId};
-use ij_mapreduce::{Dfs, Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Dfs, Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{JoinQuery, QueryClass};
 
 /// RCCIS (Section 6.1) — the efficient multi-way colocation join.
@@ -121,11 +121,11 @@ pub(crate) fn run_marking_cycle(
                 }
             }
         },
-        move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<FlagRec>| {
+        move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<FlagRec>| {
             let p = ctx.key as usize;
             let mut per_rel: Vec<Vec<(Interval, TupleId)>> = vec![Vec::new(); m];
             // Keep (rel -> tids) so flags can be matched back to records.
-            for v in values.iter() {
+            for v in values.by_ref() {
                 per_rel[v.rel.idx()].push((v.iv, v.tid));
             }
             let marking = crate::rccis::marking::mark_with_options(&q, &partc, p, per_rel, opts);
@@ -190,9 +190,9 @@ pub(crate) fn run_join_cycle(
                 }
             }
         },
-        move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+        move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
             let mut cands = Candidates::new(m);
-            for v in values.drain(..) {
+            for v in values.by_ref() {
                 cands.push(v.rel.idx(), v.iv, v.tid);
             }
             cands.finish();

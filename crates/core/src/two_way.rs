@@ -14,7 +14,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_interval::{ops, RelId};
-use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx};
+use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::JoinQuery;
 
 /// The Section 4 two-way join.
@@ -86,9 +86,9 @@ impl Algorithm for TwoWayJoin {
                     em.emit(p as u64, *rec);
                 }
             },
-            move |ctx: &mut ReduceCtx, values: &mut Vec<IvRec>, out: &mut Vec<OutRec>| {
+            move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
                 let mut cands = Candidates::new(2);
-                for v in values.drain(..) {
+                for v in values.by_ref() {
                     cands.push(v.rel.idx(), v.iv, v.tid);
                 }
                 cands.finish();

@@ -78,6 +78,12 @@ impl JobChain {
         self.cycles.iter().map(|c| c.reduce_wall).sum()
     }
 
+    /// Total spill I/O wall-clock time across cycles (zero unless a
+    /// memory budget made buckets spill; see [`JobMetrics::spill_wall`]).
+    pub fn total_spill_wall(&self) -> Duration {
+        self.cycles.iter().map(|c| c.spill_wall).sum()
+    }
+
     /// Output records of the final cycle (the join result size).
     pub fn final_output_records(&self) -> u64 {
         self.cycles.last().map(|c| c.output_records).unwrap_or(0)
@@ -130,6 +136,7 @@ mod tests {
             map_wall: Duration::from_millis(3),
             shuffle_wall: Duration::from_millis(1),
             reduce_wall: Duration::from_millis(1),
+            spill_wall: Duration::from_micros(100),
             simulated: sim,
             counters: Counters::default(),
         }
@@ -149,6 +156,7 @@ mod tests {
         assert_eq!(chain.total_map_wall(), Duration::from_millis(6));
         assert_eq!(chain.total_shuffle_wall(), Duration::from_millis(2));
         assert_eq!(chain.total_reduce_wall(), Duration::from_millis(2));
+        assert_eq!(chain.total_spill_wall(), Duration::from_micros(200));
         assert_eq!(chain.final_output_records(), 1);
     }
 

@@ -62,10 +62,13 @@ pub struct DfsStats {
     pub records_written: u64,
     /// Approximate bytes written.
     pub bytes_written: u64,
-    /// Records read (each `read` counts the full file).
+    /// Records read (each `read` counts the full file; `read_range` counts
+    /// only the records returned).
     pub records_read: u64,
     /// Approximate bytes read.
     pub bytes_read: u64,
+    /// Number of [`Dfs::read_range`] calls (chunked spill-run reads).
+    pub range_reads: u64,
 }
 
 impl Dfs {
@@ -111,6 +114,37 @@ impl Dfs {
         stats.records_read += file.count;
         stats.bytes_read += file.bytes;
         Ok(records)
+    }
+
+    /// Reads up to `len` records of `path` starting at record `start`
+    /// (clamped to the file's end), copying only that range. This is the
+    /// chunked reader the spill path streams oversized buckets through, so
+    /// a consumer never holds a whole run's `Arc<Vec<V>>` resident. Counts
+    /// the records and bytes actually returned — plus one `range_reads` —
+    /// in [`DfsStats`].
+    pub fn read_range<V: Record>(
+        &self,
+        path: &str,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<V>, DfsError> {
+        let files = self.files.read();
+        let file = files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let records = file
+            .records
+            .downcast_ref::<Vec<V>>()
+            .ok_or_else(|| DfsError::WrongType(path.to_string()))?;
+        let start = start.min(records.len());
+        let end = start.saturating_add(len).min(records.len());
+        let out: Vec<V> = records[start..end].to_vec();
+        let bytes: u64 = out.iter().map(Record::approx_bytes).sum();
+        let mut stats = self.stats.write();
+        stats.records_read += out.len() as u64;
+        stats.bytes_read += bytes;
+        stats.range_reads += 1;
+        Ok(out)
     }
 
     /// Removes a file (used by algorithms to clean intermediate results).
@@ -199,6 +233,29 @@ mod tests {
         assert_eq!(s.bytes_written, 24);
         assert_eq!(s.records_read, 6);
         assert_eq!(s.bytes_read, 48);
+        assert_eq!(s.range_reads, 0);
+    }
+
+    #[test]
+    fn read_range_returns_clamped_window() {
+        let dfs = Dfs::new();
+        dfs.write("f", vec![10u64, 20, 30, 40, 50]).unwrap();
+        assert_eq!(dfs.read_range::<u64>("f", 1, 2).unwrap(), vec![20, 30]);
+        // Past-the-end windows clamp instead of erroring.
+        assert_eq!(dfs.read_range::<u64>("f", 4, 10).unwrap(), vec![50]);
+        assert!(dfs.read_range::<u64>("f", 9, 3).unwrap().is_empty());
+        assert_eq!(
+            dfs.read_range::<u64>("nope", 0, 1).unwrap_err(),
+            DfsError::NotFound("nope".into())
+        );
+        assert_eq!(
+            dfs.read_range::<u32>("f", 0, 1).unwrap_err(),
+            DfsError::WrongType("f".into())
+        );
+        let s = dfs.stats();
+        assert_eq!(s.range_reads, 3);
+        assert_eq!(s.records_read, 3);
+        assert_eq!(s.bytes_read, 24);
     }
 
     #[test]

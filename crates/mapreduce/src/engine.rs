@@ -8,11 +8,18 @@
 //! 2. **Shuffle** — [`merge_sorted_runs`] k-way merges the runs by
 //!    `(key, run index)`, building reducer buckets and accumulating the
 //!    shuffle-volume counters in the same pass. No code path ever sorts the
-//!    full intermediate-pair vector.
+//!    full intermediate-pair vector. With
+//!    [`ClusterConfig::reduce_memory_budget`] set, a bucket that overflows
+//!    the budget is cut into sorted runs on an engine-internal [`crate::Dfs`]
+//!    instead of staying resident (see [`crate::spill`]).
 //! 3. **Reduce** — workers steal buckets and reducers take *ownership* of
-//!    their bucket. The fault-free path moves the bucket out without a
-//!    copy; only with a [`FaultPlan`] attached is the bucket cloned per
-//!    attempt, mirroring Hadoop re-reading the shuffled segment on retry.
+//!    their bucket, consuming it as a pull-based
+//!    [`crate::job::ValueStream`]: resident buckets stream out of memory,
+//!    spilled buckets stream back chunk-by-chunk from the DFS. The
+//!    fault-free path moves the bucket out without a copy; only with a
+//!    [`FaultPlan`] attached is the bucket cloned per attempt (for spilled
+//!    buckets the clone is just run paths — the retry re-reads them),
+//!    mirroring Hadoop re-reading the shuffled segment on retry.
 //!
 //! Determinism is preserved by construction: ties between runs break on the
 //! run (chunk) index and per-run order is emission order, so the merged
@@ -21,11 +28,13 @@
 //! reported through [`JobMetrics`].
 
 use crate::cost::{CostModel, ReducerCost};
+use crate::dfs::DfsError;
 use crate::error::EngineError;
 use crate::fault::FaultPlan;
-use crate::job::{Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
+use crate::job::{BucketSource, Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
 use crate::metrics::{Counters, JobMetrics, ReducerLoad};
 use crate::record::Record;
+use crate::spill::{SpillRun, SpillStats, SpillStore, SpilledBucket};
 use crate::trace::{SpanKind, TraceEvent, Tracer};
 use std::any::Any;
 use std::cmp::Reverse;
@@ -36,7 +45,7 @@ use std::sync::Arc;
 // repolint: allow(wall-clock, file): Instant feeds only the wall/map/shuffle/
 // reduce duration metrics in JobMetrics; durations are never keyed, emitted,
 // or otherwise able to reach job output.
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default candidate count at which a reduce bucket counts as "heavy" and
 /// becomes eligible for intra-reducer parallel join kernels.
@@ -63,6 +72,16 @@ pub struct ClusterConfig {
     /// intra-reducer thread grant. Defaults to
     /// [`DEFAULT_HEAVY_BUCKET_THRESHOLD`].
     pub heavy_bucket_threshold: usize,
+    /// Per-reducer memory budget in approx-bytes (see
+    /// [`Record::approx_bytes`]) — the paper's reducer-size bound. `None`
+    /// (the default) keeps every bucket resident; with `Some(b)`, a bucket
+    /// whose buffered values exceed `b` bytes during the shuffle merge is
+    /// spilled to an engine-internal [`crate::Dfs`] as sorted runs and
+    /// streamed back to its reducer on demand. Outputs and data-plane
+    /// counters are byte-identical either way (only the `spill.*`
+    /// execution-shape counters differ; see
+    /// [`crate::metrics::is_execution_shape`]).
+    pub reduce_memory_budget: Option<u64>,
     /// Cost-model weights for the simulated cluster time.
     pub cost: CostModel,
 }
@@ -77,6 +96,7 @@ impl Default for ClusterConfig {
             worker_threads: threads,
             intra_reduce_threads: threads,
             heavy_bucket_threshold: DEFAULT_HEAVY_BUCKET_THRESHOLD,
+            reduce_memory_budget: None,
             cost: CostModel::default(),
         }
     }
@@ -103,8 +123,9 @@ pub struct JobOutput<O> {
 }
 
 /// What the reduce phase hands back to `run_job`: per-key outputs (key
-/// order), per-reducer loads, and the merged user counters.
-type ReducePhaseResult<O> = (Vec<(ReducerId, Vec<O>)>, Vec<ReducerLoad>, Counters);
+/// order), per-reducer loads, the merged user counters, and the cumulative
+/// nanoseconds workers spent streaming spilled buckets back from DFS.
+type ReducePhaseResult<O> = (Vec<(ReducerId, Vec<O>)>, Vec<ReducerLoad>, Counters, u64);
 
 /// The MapReduce engine. Cheap to construct; holds only configuration, an
 /// optional fault plan and an optional tracer.
@@ -201,7 +222,32 @@ impl Engine {
         // ---- Shuffle: k-way merge of the runs into reducer buckets ---------
         let shuffle_start = Instant::now();
         let shuffle_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
-        let (buckets, shuffle) = merge_sorted_runs(runs);
+        let (buckets, shuffle, spill_stats, spill_write_nanos) = match self.cfg.reduce_memory_budget
+        {
+            // Unlimited budget: the in-memory fast path. No spill store
+            // (hence no Dfs) is ever constructed.
+            None => {
+                let (buckets, stats) = merge_sorted_runs(runs);
+                let sources: Vec<(ReducerId, BucketSource<M>)> = buckets
+                    .into_iter()
+                    .map(|(k, v)| (k, BucketSource::InMemory(v)))
+                    .collect();
+                (sources, stats, SpillStats::default(), 0u64)
+            }
+            Some(budget) => {
+                let mut store = SpillStore::new(budget, tracer);
+                let (sources, stats) =
+                    merge_sorted_runs_budgeted(runs, &mut store).map_err(|e| {
+                        EngineError::Spill {
+                            job: name.to_string(),
+                            reducer: ReducerId::MAX,
+                            detail: e.to_string(),
+                        }
+                    })?;
+                let (spill_stats, write_nanos) = store.finish();
+                (sources, stats, spill_stats, write_nanos)
+            }
+        };
         if let Some(t) = tracer {
             t.record(
                 TraceEvent::span(SpanKind::Phase, "shuffle", 0, shuffle_t0, t.now_us())
@@ -215,9 +261,14 @@ impl Engine {
         // ---- Reduce phase ---------------------------------------------------
         let reduce_start = Instant::now();
         let reduce_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
-        let (mut results, loads, reduce_counters) =
+        let (mut results, loads, reduce_counters, spill_read_nanos) =
             self.run_reduce_phase(name, buckets, &reducer)?;
         counters.merge(&reduce_counters);
+        if spill_stats.buckets > 0 {
+            counters.inc("spill.buckets", spill_stats.buckets);
+            counters.inc("spill.runs", spill_stats.runs);
+            counters.inc("spill.bytes", spill_stats.bytes);
+        }
 
         // Concatenate outputs in key order, accounting output volume in the
         // same pass (the reduce-side write).
@@ -272,6 +323,7 @@ impl Engine {
             map_wall,
             shuffle_wall,
             reduce_wall,
+            spill_wall: Duration::from_nanos(spill_write_nanos + spill_read_nanos),
             simulated,
             counters,
         };
@@ -357,16 +409,20 @@ impl Engine {
     }
 
     /// Runs reducers over the key buckets, work-stealing across worker
-    /// threads, with fault-injection retries.
+    /// threads, with fault-injection retries. Each bucket arrives as a
+    /// [`BucketSource`] (resident or spilled) and is consumed by the
+    /// reducer as a pull-based [`crate::job::ValueStream`].
     ///
     /// Ownership: without a fault plan each bucket is *moved* into its
     /// reducer (zero clones); with a plan attached the bucket stays resident
     /// and every attempt clones it — the in-process analogue of a re-executed
-    /// Hadoop reduce task re-reading its shuffled segment from disk.
+    /// Hadoop reduce task re-reading its shuffled segment from disk. A
+    /// spilled bucket's "clone" is just its run paths: every attempt
+    /// re-reads the runs from the spill store.
     fn run_reduce_phase<M, O>(
         &self,
         job_name: &str,
-        buckets: Vec<(ReducerId, Vec<M>)>,
+        buckets: Vec<(ReducerId, BucketSource<M>)>,
         reducer: &impl Reducer<M, O>,
     ) -> Result<ReducePhaseResult<O>, EngineError>
     where
@@ -376,7 +432,7 @@ impl Engine {
         struct BucketSlot<M> {
             key: ReducerId,
             pairs_received: u64,
-            values: parking_lot::Mutex<Option<Vec<M>>>,
+            values: parking_lot::Mutex<Option<BucketSource<M>>>,
         }
 
         /// What one reducer invocation leaves behind: outputs, its load
@@ -409,10 +465,10 @@ impl Engine {
         let tracer = self.tracer.as_deref();
         let slots: Vec<BucketSlot<M>> = buckets
             .into_iter()
-            .map(|(key, vals)| BucketSlot {
+            .map(|(key, source)| BucketSlot {
                 key,
-                pairs_received: vals.len() as u64,
-                values: parking_lot::Mutex::new(Some(vals)),
+                pairs_received: source.len() as u64,
+                values: parking_lot::Mutex::new(Some(source)),
             })
             .collect();
         type ResultSlot<O> = parking_lot::Mutex<Option<ReduceResult<O>>>;
@@ -421,6 +477,7 @@ impl Engine {
         let mut panic_payload: Option<Box<dyn Any + Send>> = None;
         let mut worker_error: Option<EngineError> = None;
         let mut worker_events: Vec<TraceEvent> = Vec::new();
+        let mut spill_read_nanos = 0u64;
 
         // Shared state is captured by reference; the `move` below only
         // copies these references (plus each worker's index) into the
@@ -436,6 +493,7 @@ impl Engine {
                     scope.spawn(move |_| {
                         let t0 = tracer.map(Tracer::now_us).unwrap_or(0);
                         let mut buckets_run = 0u64;
+                        let mut spill_read_nanos = 0u64;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
@@ -471,11 +529,12 @@ impl Engine {
                                 // `next.fetch_add` hands each bucket index to
                                 // exactly one worker, so an empty slot means
                                 // an engine bug, not a user error.
-                                let Some(mut vals) = taken else {
+                                let Some(source) = taken else {
                                     return Err(EngineError::Internal(
                                         "reduce bucket consumed twice",
                                     ));
                                 };
+                                let spilled = source.is_spilled();
                                 let r0 = tracer.map(Tracer::now_us).unwrap_or(0);
                                 let mut out = Vec::new();
                                 let mut ctx = ReduceCtx::with_parallelism(
@@ -483,7 +542,19 @@ impl Engine {
                                     intra_budget,
                                     heavy_threshold,
                                 );
-                                reducer.reduce(&mut ctx, &mut vals, &mut out);
+                                let mut values = source.into_stream();
+                                reducer.reduce(&mut ctx, &mut values, &mut out);
+                                // Streaming can't surface a Result per value,
+                                // so a spilled-read failure ends the stream
+                                // early and is latched for this check.
+                                if let Some(e) = values.io_error() {
+                                    return Err(EngineError::Spill {
+                                        job: job_name.to_string(),
+                                        reducer: slot.key,
+                                        detail: e.to_string(),
+                                    });
+                                }
+                                spill_read_nanos += values.io_nanos();
                                 let event = tracer.map(|t| {
                                     TraceEvent::span(
                                         SpanKind::Reduce,
@@ -496,6 +567,7 @@ impl Engine {
                                     .arg("pairs", slot.pairs_received)
                                     .arg("work", ctx.work())
                                     .arg("out", out.len() as u64)
+                                    .arg("spilled", spilled as u64)
                                 });
                                 let load = ReducerLoad {
                                     key: slot.key,
@@ -516,7 +588,7 @@ impl Engine {
                                 break;
                             }
                         }
-                        Ok(tracer.map(|t| {
+                        let stint = tracer.map(|t| {
                             TraceEvent::span(
                                 SpanKind::Task,
                                 "reduce-worker",
@@ -526,13 +598,17 @@ impl Engine {
                             )
                             .arg("buckets", buckets_run)
                             .arg("intra_budget", intra_budget as u64)
-                        }))
+                        });
+                        Ok((stint, spill_read_nanos))
                     })
                 })
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(Ok(event)) => worker_events.extend(event),
+                    Ok(Ok((event, nanos))) => {
+                        worker_events.extend(event);
+                        spill_read_nanos += nanos;
+                    }
                     Ok(Err(e)) => {
                         worker_error.get_or_insert(e);
                     }
@@ -569,7 +645,7 @@ impl Engine {
             t.record_batch(reduce_events);
             t.record_batch(worker_events);
         }
-        Ok((outs, loads, counters))
+        Ok((outs, loads, counters, spill_read_nanos))
     }
 }
 
@@ -583,15 +659,14 @@ pub struct ShuffleStats {
     pub bytes: u64,
 }
 
-/// K-way merges per-worker key-sorted runs into reducer buckets.
-///
-/// Ties between runs holding the same key break on the run index, so the
-/// merged stream is exactly a *stable* sort of the concatenated runs: keys
-/// ascend, and values within a key keep mapper-emission order. The full
-/// pair vector is never materialized or globally sorted.
-pub fn merge_sorted_runs<M: Record>(
+/// The k-way merge core shared by the in-memory and budgeted shuffle
+/// paths: invokes `each` for every `(key, value)` pair in merged order
+/// (keys ascend; ties between runs break on run index) while accumulating
+/// the shuffle-volume counters. An `Err` from `each` aborts the merge.
+fn merge_runs_each<M: Record, E>(
     runs: Vec<SortedRun<M>>,
-) -> (Vec<(ReducerId, Vec<M>)>, ShuffleStats) {
+    mut each: impl FnMut(ReducerId, M) -> Result<(), E>,
+) -> Result<ShuffleStats, E> {
     let mut iters: Vec<std::vec::IntoIter<(ReducerId, M)>> =
         runs.into_iter().map(Vec::into_iter).collect();
     let mut heads: Vec<Option<(ReducerId, M)>> = iters.iter_mut().map(Iterator::next).collect();
@@ -601,7 +676,6 @@ pub fn merge_sorted_runs<M: Record>(
         .filter_map(|(run, head)| head.as_ref().map(|(k, _)| Reverse((*k, run))))
         .collect();
 
-    let mut buckets: Vec<(ReducerId, Vec<M>)> = Vec::new();
     let mut stats = ShuffleStats::default();
     while let Some(Reverse((key, run))) = heap.pop() {
         // A heap entry is pushed only when `heads[run]` was just refilled,
@@ -613,21 +687,121 @@ pub fn merge_sorted_runs<M: Record>(
         };
         stats.pairs += 1;
         stats.bytes += value.approx_bytes() + 8;
-        match buckets.last_mut() {
-            Some((last, vals)) if *last == key => vals.push(value),
-            _ => buckets.push((key, vec![value])),
-        }
+        each(key, value)?;
         heads[run] = iters[run].next();
         if let Some((k, _)) = &heads[run] {
             heap.push(Reverse((*k, run)));
         }
     }
+    Ok(stats)
+}
+
+/// K-way merges per-worker key-sorted runs into reducer buckets.
+///
+/// Ties between runs holding the same key break on the run index, so the
+/// merged stream is exactly a *stable* sort of the concatenated runs: keys
+/// ascend, and values within a key keep mapper-emission order. The full
+/// pair vector is never materialized or globally sorted.
+pub fn merge_sorted_runs<M: Record>(
+    runs: Vec<SortedRun<M>>,
+) -> (Vec<(ReducerId, Vec<M>)>, ShuffleStats) {
+    let mut buckets: Vec<(ReducerId, Vec<M>)> = Vec::new();
+    let result: Result<ShuffleStats, std::convert::Infallible> =
+        merge_runs_each(runs, |key, value| {
+            match buckets.last_mut() {
+                Some((last, vals)) if *last == key => vals.push(value),
+                _ => buckets.push((key, vec![value])),
+            }
+            Ok(())
+        });
+    let stats = match result {
+        Ok(stats) => stats,
+        Err(never) => match never {},
+    };
     (buckets, stats)
+}
+
+/// The budgeted merge's result: per-reducer bucket sources (in-memory or
+/// spilled) plus the shuffle volume stats.
+type BudgetedShuffle<M> = (Vec<(ReducerId, BucketSource<M>)>, ShuffleStats);
+
+/// The budgeted shuffle: the same merge as [`merge_sorted_runs`], but a
+/// bucket buffers at most `store.budget()` approx-bytes before the buffered
+/// prefix is flushed to the spill store as a run. A bucket that never
+/// overflows comes out as [`BucketSource::InMemory`] — byte-for-byte the
+/// fast path — while an overflowing bucket becomes
+/// [`BucketSource::Spilled`] over its runs (plus the in-memory tail, also
+/// flushed). The merged stream is thread-count-independent, so the flush
+/// points — and therefore the whole spill layout — depend only on the
+/// budget.
+fn merge_sorted_runs_budgeted<M: Record>(
+    runs: Vec<SortedRun<M>>,
+    store: &mut SpillStore<'_>,
+) -> Result<BudgetedShuffle<M>, DfsError> {
+    struct OpenBucket<M> {
+        key: ReducerId,
+        vals: Vec<M>,
+        buf_bytes: u64,
+        runs: Vec<SpillRun>,
+        total: usize,
+    }
+
+    fn close<M: Record>(
+        store: &mut SpillStore<'_>,
+        open: OpenBucket<M>,
+    ) -> Result<(ReducerId, BucketSource<M>), DfsError> {
+        if open.runs.is_empty() {
+            return Ok((open.key, BucketSource::InMemory(open.vals)));
+        }
+        let mut runs = open.runs;
+        if !open.vals.is_empty() {
+            runs.push(store.spill_run(open.key, open.vals)?);
+        }
+        store.note_bucket();
+        let bucket = SpilledBucket::new(Arc::clone(store.dfs()), runs, open.total);
+        Ok((open.key, BucketSource::Spilled(bucket)))
+    }
+
+    let budget = store.budget();
+    let mut buckets: Vec<(ReducerId, BucketSource<M>)> = Vec::new();
+    let mut cur: Option<OpenBucket<M>> = None;
+    let stats = merge_runs_each(runs, |key, value| -> Result<(), DfsError> {
+        if cur.as_ref().map(|o| o.key) != Some(key) {
+            if let Some(done) = cur.take() {
+                buckets.push(close(store, done)?);
+            }
+            cur = Some(OpenBucket {
+                key,
+                vals: Vec::new(),
+                buf_bytes: 0,
+                runs: Vec::new(),
+                total: 0,
+            });
+        }
+        let Some(open) = cur.as_mut() else {
+            debug_assert!(false, "open bucket was just ensured");
+            return Ok(());
+        };
+        open.buf_bytes += value.approx_bytes();
+        open.total += 1;
+        open.vals.push(value);
+        if open.buf_bytes > budget {
+            let run = store.spill_run(open.key, std::mem::take(&mut open.vals))?;
+            open.runs.push(run);
+            open.buf_bytes = 0;
+        }
+        Ok(())
+    })?;
+    if let Some(done) = cur.take() {
+        buckets.push(close(store, done)?);
+    }
+    Ok((buckets, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::ValueStream;
 
     fn engine() -> Engine {
         Engine::new(ClusterConfig {
@@ -645,8 +819,8 @@ mod tests {
                 "group",
                 &[1u64, 2, 3, 4, 5, 6, 7, 8],
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 2, n),
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                    out.push((ctx.key, vs.iter().sum()));
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.sum()));
                 },
             )
             .unwrap();
@@ -665,8 +839,8 @@ mod tests {
                 "order",
                 &input,
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
-                    out.append(vs);
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
+                    out.extend(vs);
                 },
             )
             .unwrap();
@@ -692,9 +866,9 @@ mod tests {
                         e.emit(n % 5, n * 2);
                     }
                 },
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                    for v in vs.iter() {
-                        out.push((ctx.key, *v));
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                    for v in vs.by_ref() {
+                        out.push((ctx.key, v));
                     }
                 },
             )
@@ -714,7 +888,7 @@ mod tests {
                 "empty",
                 &Vec::<u64>::new(),
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| out.extend(vs),
             )
             .unwrap();
         assert!(out.outputs.is_empty());
@@ -733,7 +907,7 @@ mod tests {
                     e.emit(0, n);
                     e.emit(1, n);
                 },
-                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
                     out.push(vs.len() as u64);
                 },
             )
@@ -754,8 +928,8 @@ mod tests {
                 "phases",
                 &input,
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 16, n),
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                    out.push((ctx.key, vs.iter().sum()));
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.sum()));
                 },
             )
             .unwrap();
@@ -774,9 +948,9 @@ mod tests {
                 "work",
                 &[1u64, 2, 3],
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
                     ctx.add_work(100);
-                    out.append(vs);
+                    out.extend(vs);
                 },
             )
             .unwrap();
@@ -791,8 +965,8 @@ mod tests {
                 "faulty",
                 &input,
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                    out.push((ctx.key, vs.iter().sum()));
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.sum()));
                 },
             )
             .unwrap();
@@ -807,8 +981,8 @@ mod tests {
             "faulty",
             &input,
             |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
-            |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((ctx.key, vs.iter().sum()));
+            |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.sum()));
             },
         )
         .unwrap();
@@ -834,7 +1008,7 @@ mod tests {
                 "j",
                 &[1u64],
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| out.extend(vs),
             );
         match result {
             Err(EngineError::MaxAttemptsExceeded {
@@ -861,7 +1035,7 @@ mod tests {
                     assert!(n != 7, "mapper exploded on {n}");
                     e.emit(0, n);
                 },
-                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| out.extend(vs),
             )
             .unwrap();
     }
@@ -874,9 +1048,9 @@ mod tests {
                 "boom",
                 &(0..32u64).collect::<Vec<_>>(),
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 5, n),
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
                     assert!(ctx.key != 3, "reducer exploded on key {}", ctx.key);
-                    out.append(vs);
+                    out.extend(vs);
                 },
             )
             .unwrap();
@@ -931,9 +1105,9 @@ mod tests {
                     }
                     e.emit(n % 4, n);
                 },
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
                     ctx.inc("reduce.values", vs.len() as u64);
-                    out.push((ctx.key, vs.iter().sum()));
+                    out.push((ctx.key, vs.sum()));
                 },
             )
             .unwrap();
@@ -961,7 +1135,7 @@ mod tests {
                     e.inc("pairs", 1 + (n % 3));
                     e.emit(n % 7, n);
                 },
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
                     ctx.inc("groups", 1);
                     out.push(vs.len() as u64);
                 },
@@ -992,9 +1166,9 @@ mod tests {
                 "traced",
                 &(0..64u64).collect::<Vec<_>>(),
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 4, n),
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
                     ctx.add_work(vs.len() as u64);
-                    out.push((ctx.key, vs.iter().sum()));
+                    out.push((ctx.key, vs.sum()));
                 },
             )
             .unwrap();
@@ -1045,7 +1219,7 @@ mod tests {
                 "untraced",
                 &[1u64, 2, 3],
                 |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
-                |_: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| out.append(vs),
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| out.extend(vs),
             )
             .unwrap();
         assert_eq!(out.outputs, vec![1, 2, 3]);
@@ -1074,9 +1248,10 @@ mod tests {
         // `Tracked`).
         let input: Vec<u64> = (0..64).collect();
         let mapper = |&n: &u64, e: &mut Emitter<Tracked>| e.emit(n % 4, Tracked(n));
-        let reducer = |ctx: &mut ReduceCtx, vs: &mut Vec<Tracked>, out: &mut Vec<(u64, u64)>| {
-            out.push((ctx.key, vs.iter().map(|t| t.0).sum()));
-        };
+        let reducer =
+            |ctx: &mut ReduceCtx, vs: &mut ValueStream<Tracked>, out: &mut Vec<(u64, u64)>| {
+                out.push((ctx.key, vs.map(|t| t.0).sum()));
+            };
 
         let before = TRACKED_CLONES.load(Ordering::SeqCst);
         let clean = engine()
@@ -1101,5 +1276,165 @@ mod tests {
         // buckets of 16.
         assert_eq!(fault_clones, 64, "fault path clones each bucket once");
         assert_eq!(faulty.outputs, clean.outputs);
+    }
+
+    fn budgeted_engine(budget: Option<u64>, threads: usize) -> Engine {
+        Engine::new(ClusterConfig {
+            reducer_slots: 4,
+            worker_threads: threads,
+            intra_reduce_threads: threads,
+            reduce_memory_budget: budget,
+            cost: CostModel::default(),
+            ..ClusterConfig::default()
+        })
+    }
+
+    /// A job whose 3 buckets hold ~133 u64 values (~1 KiB) each.
+    fn spill_job(eng: &Engine) -> JobOutput<(u64, u64)> {
+        let input: Vec<u64> = (0..400).collect();
+        eng.run_job(
+            "spilly",
+            &input,
+            |&n: &u64, e: &mut Emitter<u64>| {
+                e.inc("map.seen", 1);
+                e.emit(n % 3, n);
+            },
+            |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                ctx.inc("groups", 1);
+                out.push((ctx.key, vs.sum()));
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tiny_budget_spills_and_matches_unlimited() {
+        let base = spill_job(&budgeted_engine(None, 3));
+        assert_eq!(base.metrics.counters.get("spill.buckets"), 0);
+        assert_eq!(base.metrics.spill_wall, Duration::ZERO);
+        for budget in [64, 1024] {
+            for threads in [1, 2, 8] {
+                let out = spill_job(&budgeted_engine(Some(budget), threads));
+                assert_eq!(
+                    out.outputs, base.outputs,
+                    "budget {budget} threads {threads}"
+                );
+                assert_eq!(out.metrics.reducer_loads, base.metrics.reducer_loads);
+                // Every non-spill counter must match the unlimited run.
+                for (k, v) in out.metrics.counters.iter() {
+                    if !crate::metrics::is_execution_shape(k) {
+                        assert_eq!(v, base.metrics.counters.get(k), "counter {k}");
+                    }
+                }
+                let spilled = out.metrics.counters.get("spill.buckets");
+                assert_eq!(spilled, 3, "all three ~1KiB buckets overflow {budget}");
+                assert!(out.metrics.counters.get("spill.runs") >= spilled);
+                assert!(out.metrics.counters.get("spill.bytes") > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn spill_layout_is_thread_count_independent() {
+        let base = spill_job(&budgeted_engine(Some(128), 1));
+        for threads in [2, 8] {
+            let out = spill_job(&budgeted_engine(Some(128), threads));
+            // Including the spill.* counters: flush points are cut from the
+            // merged stream, which never depends on worker_threads.
+            assert_eq!(out.metrics.counters, base.metrics.counters);
+            assert_eq!(out.outputs, base.outputs);
+        }
+    }
+
+    #[test]
+    fn generous_budget_stays_in_memory() {
+        let out = spill_job(&budgeted_engine(Some(1 << 20), 3));
+        assert_eq!(out.metrics.counters.get("spill.buckets"), 0);
+        assert_eq!(out.metrics.counters.get("spill.runs"), 0);
+        assert_eq!(out.metrics.spill_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn spilled_values_keep_emission_order() {
+        // All values to one key, budget far below the bucket size: the
+        // reducer must still see exact input order through the spill runs.
+        let input: Vec<u64> = (0..3000).collect();
+        let out = budgeted_engine(Some(256), 3)
+            .run_job(
+                "spill-order",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(0, n),
+                |_: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
+                    out.extend(vs);
+                },
+            )
+            .unwrap();
+        assert_eq!(out.outputs, input);
+        assert_eq!(out.metrics.counters.get("spill.buckets"), 1);
+        assert!(out.metrics.counters.get("spill.runs") > 1);
+    }
+
+    #[test]
+    fn spilled_bucket_fault_retry_rereads_runs() {
+        let input: Vec<u64> = (0..600).collect();
+        let run = |eng: Engine| {
+            eng.run_job(
+                "spill-faulty",
+                &input,
+                |&n: &u64, e: &mut Emitter<u64>| e.emit(n % 4, n),
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                    out.push((ctx.key, vs.sum()));
+                },
+            )
+            .unwrap()
+        };
+        let clean = run(budgeted_engine(Some(128), 3));
+        let faulty = run(
+            budgeted_engine(Some(128), 3).with_faults(FaultPlan::new().fail("spill-faulty", 2, 2)),
+        );
+        assert_eq!(faulty.outputs, clean.outputs);
+        assert_eq!(faulty.metrics.retries(), 2);
+    }
+
+    #[test]
+    fn spill_spans_reach_the_tracer() {
+        let tracer = Arc::new(Tracer::new());
+        let eng = budgeted_engine(Some(64), 2).with_tracer(tracer.clone());
+        let _ = spill_job(&eng);
+        let spills: Vec<_> = tracer
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == SpanKind::Spill)
+            .collect();
+        assert!(!spills.is_empty(), "budgeted run must record spill spans");
+        assert!(spills.iter().all(|e| e.name == "spill-run"));
+        assert!(tracer.chrome_trace().contains("\"cat\":\"spill\""));
+
+        // A reduce span carries the spilled flag.
+        let reduce = tracer
+            .snapshot()
+            .into_iter()
+            .find(|e| e.kind == SpanKind::Reduce)
+            .unwrap();
+        assert!(reduce.args.contains(&("spilled", 1)));
+    }
+
+    #[test]
+    fn budgeted_merge_splits_buckets_at_flush_points() {
+        // One key, 8-byte values, budget 32: a run flushes after every 5th
+        // value (40 > 32), so 12 values make 2 full runs + a 2-value tail.
+        let run: SortedRun<u64> = (0..12u64).map(|v| (0, v)).collect();
+        let mut store = SpillStore::new(32, None);
+        let (buckets, stats) = merge_sorted_runs_budgeted(vec![run], &mut store).unwrap();
+        assert_eq!(stats.pairs, 12);
+        assert_eq!(buckets.len(), 1);
+        let (key, source) = &buckets[0];
+        assert_eq!(*key, 0);
+        assert!(source.is_spilled());
+        assert_eq!(source.len(), 12);
+        let (spill_stats, _) = store.finish();
+        assert_eq!(spill_stats.buckets, 1);
+        assert_eq!(spill_stats.runs, 3);
+        assert_eq!(spill_stats.bytes, 12 * 8);
     }
 }

@@ -34,6 +34,19 @@ pub enum EngineError {
     /// An engine invariant was breached — always a bug in the engine, never
     /// a user error. The payload names the invariant.
     Internal(&'static str),
+    /// A spill-path DFS operation failed while writing or streaming back an
+    /// over-budget bucket. The spill store is engine-internal, so this too
+    /// is an engine bug rather than a user error, but it carries the job
+    /// and reducer for diagnosis.
+    Spill {
+        /// The job whose spill I/O failed.
+        job: String,
+        /// The reducer bucket involved (`u64::MAX` when the failure
+        /// happened shuffle-side before a bucket was attributable).
+        reducer: ReducerId,
+        /// The underlying DFS failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -48,6 +61,14 @@ impl fmt::Display for EngineError {
                 "reducer {reducer} of job {job} exceeded max attempts ({attempts} tries)"
             ),
             EngineError::Internal(what) => write!(f, "engine invariant breached: {what}"),
+            EngineError::Spill {
+                job,
+                reducer,
+                detail,
+            } => write!(
+                f,
+                "spill I/O failed for reducer {reducer} of job {job}: {detail}"
+            ),
         }
     }
 }
@@ -68,5 +89,12 @@ mod tests {
         assert!(e.to_string().contains("reducer 3"));
         assert!(e.to_string().contains("job j"));
         assert!(EngineError::Internal("x").to_string().contains('x'));
+        let s = EngineError::Spill {
+            job: "j".into(),
+            reducer: 7,
+            detail: "dfs: no such file: spill/7/0".into(),
+        };
+        assert!(s.to_string().contains("reducer 7"));
+        assert!(s.to_string().contains("spill/7/0"));
     }
 }

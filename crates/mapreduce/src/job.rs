@@ -7,8 +7,10 @@
 //! they report *work units* — the quantity the simulated cost model charges
 //! for reducer compute (e.g. candidate pairs examined by a join).
 
+use crate::dfs::DfsError;
 use crate::metrics::Counters;
 use crate::record::Record;
+use crate::spill::{RunCursor, SpilledBucket};
 
 /// Identifies a logical reducer. Join algorithms encode either a 1-D
 /// partition index or the coordinates of a cell in an m-dimensional reducer
@@ -189,22 +191,176 @@ impl ReduceCtx {
     }
 }
 
+/// Where a reduce bucket's values physically live: resident in memory (the
+/// fast path — zero behavior change from the pre-streaming engine) or
+/// spilled to DFS runs when the bucket overflowed
+/// [`crate::ClusterConfig::reduce_memory_budget`]. Either way,
+/// [`BucketSource::into_stream`] yields the values in the engine's
+/// deterministic bucket order.
+#[derive(Debug)]
+pub enum BucketSource<M> {
+    /// The bucket fit its budget and stayed resident.
+    InMemory(Vec<M>),
+    /// The bucket overflowed and lives as DFS runs (see [`crate::spill`]).
+    Spilled(SpilledBucket<M>),
+}
+
+impl<M: Clone> Clone for BucketSource<M> {
+    fn clone(&self) -> Self {
+        match self {
+            BucketSource::InMemory(v) => BucketSource::InMemory(v.clone()),
+            BucketSource::Spilled(b) => BucketSource::Spilled(b.clone()),
+        }
+    }
+}
+
+impl<M: Record> BucketSource<M> {
+    /// Number of values in the bucket.
+    pub fn len(&self) -> usize {
+        match self {
+            BucketSource::InMemory(v) => v.len(),
+            BucketSource::Spilled(b) => b.len(),
+        }
+    }
+
+    /// Whether the bucket holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the bucket was spilled to DFS.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self, BucketSource::Spilled(_))
+    }
+
+    /// The pull-based value stream a reducer consumes.
+    pub fn into_stream(self) -> ValueStream<M> {
+        match self {
+            BucketSource::InMemory(v) => ValueStream::from_vec(v),
+            BucketSource::Spilled(b) => {
+                let total = b.len();
+                ValueStream {
+                    remaining: total,
+                    inner: StreamInner::Spilled(b.cursor()),
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum StreamInner<M> {
+    Mem(std::vec::IntoIter<M>),
+    Spilled(RunCursor<M>),
+}
+
+/// The pull-based view of one reduce bucket's values, in deterministic
+/// (mapper-emission) order — what [`Reducer::reduce`] consumes instead of
+/// a resident `&mut Vec<M>`.
+///
+/// It is an [`Iterator`] (and [`ExactSizeIterator`]), so reducer bodies
+/// use `values.by_ref()` where they previously drained a vector, or any
+/// adapter (`sum`, `map`, `collect`, …) directly. For spilled buckets each
+/// `next` may fetch a chunk from the DFS; a read failure ends the stream
+/// early and is latched in [`ValueStream::io_error`], which the engine
+/// checks after the reducer returns (surfaced as
+/// [`crate::EngineError::Spill`]).
+#[derive(Debug)]
+pub struct ValueStream<M> {
+    inner: StreamInner<M>,
+    remaining: usize,
+}
+
+impl<M: Record> ValueStream<M> {
+    /// A stream over an in-memory value vector (what tests and standalone
+    /// reducer invocations construct directly).
+    pub fn from_vec(values: Vec<M>) -> Self {
+        ValueStream {
+            remaining: values.len(),
+            inner: StreamInner::Mem(values.into_iter()),
+        }
+    }
+
+    /// Values not yet pulled.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Whether the stream reads back spilled DFS runs.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.inner, StreamInner::Spilled(_))
+    }
+
+    /// Drains the rest of the stream into a vector (the materializing
+    /// escape hatch for reducers that genuinely need random access).
+    pub fn take_vec(&mut self) -> Vec<M> {
+        self.by_ref().collect()
+    }
+
+    /// The latched DFS read error, if streaming a spilled bucket failed.
+    pub fn io_error(&self) -> Option<&DfsError> {
+        match &self.inner {
+            StreamInner::Mem(_) => None,
+            StreamInner::Spilled(c) => c.error(),
+        }
+    }
+
+    /// Cumulative wall time this stream spent reading spilled runs.
+    pub(crate) fn io_nanos(&self) -> u64 {
+        match &self.inner {
+            StreamInner::Mem(_) => 0,
+            StreamInner::Spilled(c) => c.io_nanos(),
+        }
+    }
+}
+
+impl<M: Record> Iterator for ValueStream<M> {
+    type Item = M;
+
+    fn next(&mut self) -> Option<M> {
+        let v = match &mut self.inner {
+            StreamInner::Mem(it) => it.next(),
+            StreamInner::Spilled(c) => c.next_value(),
+        };
+        match &v {
+            // An early end (spilled-read error) zeroes the count so
+            // `len`/`size_hint` stay consistent with what `next` returns.
+            None => self.remaining = 0,
+            Some(_) => self.remaining -= 1,
+        }
+        v
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<M: Record> ExactSizeIterator for ValueStream<M> {}
+
 /// Reduce side of a job: all values routed to one key in, output records out.
 ///
-/// Implemented for any `Fn(&mut ReduceCtx, &mut Vec<M>, &mut Vec<O>) + Sync`.
-/// Values are handed over by value (`&mut Vec<M>`) so reducers may sort or
-/// drain them in place without an extra copy.
+/// Implemented for any `Fn(&mut ReduceCtx, &mut ValueStream<M>, &mut Vec<O>) + Sync`.
+/// Values arrive as a pull-based [`ValueStream`] in deterministic
+/// (mapper-emission) order; small buckets stream straight out of memory,
+/// budget-overflow buckets stream back from DFS spill runs — the reducer
+/// body is identical either way.
 pub trait Reducer<M, O>: Sync {
     /// Processes the group for `ctx.key`.
-    fn reduce(&self, ctx: &mut ReduceCtx, values: &mut Vec<M>, out: &mut Vec<O>);
+    fn reduce(&self, ctx: &mut ReduceCtx, values: &mut ValueStream<M>, out: &mut Vec<O>);
 }
 
 impl<M, O, F> Reducer<M, O> for F
 where
-    F: Fn(&mut ReduceCtx, &mut Vec<M>, &mut Vec<O>) + Sync,
+    F: Fn(&mut ReduceCtx, &mut ValueStream<M>, &mut Vec<O>) + Sync,
 {
     #[inline]
-    fn reduce(&self, ctx: &mut ReduceCtx, values: &mut Vec<M>, out: &mut Vec<O>) {
+    fn reduce(&self, ctx: &mut ReduceCtx, values: &mut ValueStream<M>, out: &mut Vec<O>) {
         self(ctx, values, out)
     }
 }
@@ -281,8 +437,40 @@ mod tests {
         fn assert_mapper<M: Mapper<u32, u32>>(_m: &M) {}
         fn assert_reducer<R: Reducer<u32, u32>>(_r: &R) {}
         let m = |r: &u32, out: &mut Emitter<u32>| out.emit(0, *r);
-        let r = |_ctx: &mut ReduceCtx, vs: &mut Vec<u32>, out: &mut Vec<u32>| out.append(vs);
+        let r =
+            |_ctx: &mut ReduceCtx, vs: &mut ValueStream<u32>, out: &mut Vec<u32>| out.extend(vs);
         assert_mapper(&m);
         assert_reducer(&r);
+    }
+
+    #[test]
+    fn value_stream_over_vec_preserves_order_and_len() {
+        let mut s = ValueStream::from_vec(vec![3u64, 1, 4, 1, 5]);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_spilled());
+        assert_eq!(s.next(), Some(3));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.by_ref().collect::<Vec<_>>(), vec![1, 4, 1, 5]);
+        assert!(s.is_empty());
+        assert!(s.io_error().is_none());
+        assert_eq!(s.io_nanos(), 0);
+    }
+
+    #[test]
+    fn value_stream_take_vec_drains_remainder() {
+        let mut s = ValueStream::from_vec(vec![1u64, 2, 3]);
+        assert_eq!(s.next(), Some(1));
+        assert_eq!(s.take_vec(), vec![2, 3]);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn bucket_source_reports_shape() {
+        let b = BucketSource::InMemory(vec![1u64, 2]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_spilled());
+        assert!(!b.is_empty());
+        let mut s = b.into_stream();
+        assert_eq!(s.by_ref().collect::<Vec<_>>(), vec![1, 2]);
     }
 }

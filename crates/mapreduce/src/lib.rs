@@ -29,8 +29,14 @@
 //! [`FaultPlan`] is attached), and each phase's wall time and byte volume is
 //! reported separately in [`JobMetrics`].
 //!
+//! Reducers consume their bucket as a pull-based [`ValueStream`]. With
+//! [`ClusterConfig::reduce_memory_budget`] set, a bucket whose values
+//! exceed the budget is spilled to an engine-internal [`Dfs`] as sorted
+//! runs and streamed back on demand (see [`spill`]) — the reducer body is
+//! identical, and outputs stay byte-identical, either way.
+//!
 //! ```
-//! use ij_mapreduce::{Engine, ClusterConfig, Emitter, ReduceCtx};
+//! use ij_mapreduce::{Engine, ClusterConfig, Emitter, ReduceCtx, ValueStream};
 //!
 //! let engine = Engine::new(ClusterConfig::default());
 //! // Word-count style: route each number to key (n % 3) and sum per key.
@@ -38,8 +44,8 @@
 //!     "sum-mod-3",
 //!     &[1u64, 2, 3, 4, 5, 6],
 //!     |&n: &u64, out: &mut Emitter<u64>| out.emit(n % 3, n),
-//!     |ctx: &mut ReduceCtx, values: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-//!         out.push((ctx.key, values.iter().sum()));
+//!     |ctx: &mut ReduceCtx, values: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+//!         out.push((ctx.key, values.sum()));
 //!     },
 //! ).unwrap();
 //! assert_eq!(out.outputs, vec![(0, 9), (1, 5), (2, 7)]);
@@ -55,15 +61,19 @@ pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod record;
+pub mod spill;
 pub mod trace;
 
 pub use chain::JobChain;
 pub use cost::{CostModel, PhaseCost};
-pub use dfs::Dfs;
+pub use dfs::{Dfs, DfsError, DfsStats};
 pub use engine::{merge_sorted_runs, ClusterConfig, Engine, JobOutput, ShuffleStats};
 pub use error::EngineError;
 pub use fault::FaultPlan;
-pub use job::{Emitter, MapCtx, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
-pub use metrics::{Counters, JobMetrics, ReducerLoad, SkewReport};
+pub use job::{
+    BucketSource, Emitter, MapCtx, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun, ValueStream,
+};
+pub use metrics::{is_execution_shape, Counters, JobMetrics, ReducerLoad, SkewReport};
 pub use record::Record;
+pub use spill::{SpillStats, SpilledBucket};
 pub use trace::{SpanKind, TraceEvent, Tracer};

@@ -126,6 +126,11 @@ pub struct JobMetrics {
     pub shuffle_wall: Duration,
     /// Wall-clock time of the reduce phase (including output concatenation).
     pub reduce_wall: Duration,
+    /// Cumulative wall-clock time spent on spill I/O: shuffle-side run
+    /// writes plus reduce-side streamed reads, summed across workers (so it
+    /// overlaps `shuffle_wall`/`reduce_wall` rather than adding to them).
+    /// Zero when no bucket overflowed the memory budget.
+    pub spill_wall: Duration,
     /// Simulated cluster time (see [`crate::CostModel`]), in cost units.
     pub simulated: f64,
     /// User-defined counters incremented by this job's mappers and
@@ -184,6 +189,19 @@ impl JobMetrics {
     pub fn skew_report(&self, k: usize) -> SkewReport {
         SkewReport::from_loads(&self.reducer_loads, k)
     }
+}
+
+/// Whether a counter name describes *execution shape* — how a run was
+/// physically carried out (intra-reducer chunking, spill decisions) rather
+/// than the data plane. Execution-shape counters are legitimately
+/// configuration-dependent: `kernel.parallel_buckets` varies with the
+/// thread grant, and the `spill.*` family varies with
+/// [`crate::ClusterConfig::reduce_memory_budget`]. Determinism byte-diffs
+/// (`repolint audit`, the equivalence proptests) exclude exactly these
+/// names; every data-plane counter must stay byte-identical across thread
+/// counts *and* budgets.
+pub fn is_execution_shape(name: &str) -> bool {
+    name == "kernel.parallel_buckets" || name.starts_with("spill.")
 }
 
 /// Per-reducer load-skew diagnosis for one job: the distribution of
@@ -308,6 +326,7 @@ mod tests {
             map_wall: Duration::ZERO,
             shuffle_wall: Duration::ZERO,
             reduce_wall: Duration::ZERO,
+            spill_wall: Duration::ZERO,
             simulated: 0.0,
             counters: Counters::default(),
         }
@@ -447,10 +466,21 @@ mod tests {
             "map_wall",
             "shuffle_wall",
             "reduce_wall",
+            "spill_wall",
             "map_input_bytes",
             "output_bytes",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    #[test]
+    fn execution_shape_counters_are_classified() {
+        assert!(is_execution_shape("kernel.parallel_buckets"));
+        assert!(is_execution_shape("spill.buckets"));
+        assert!(is_execution_shape("spill.runs"));
+        assert!(is_execution_shape("spill.bytes"));
+        assert!(!is_execution_shape("kernel.candidates"));
+        assert!(!is_execution_shape("replicas"));
     }
 }

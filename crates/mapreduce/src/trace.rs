@@ -44,6 +44,9 @@ pub enum SpanKind {
     Task,
     /// One logical reducer invocation.
     Reduce,
+    /// One spill-run write on the budgeted reduce path (see
+    /// [`crate::spill`]).
+    Spill,
 }
 
 impl SpanKind {
@@ -54,6 +57,7 @@ impl SpanKind {
             SpanKind::Phase => "phase",
             SpanKind::Task => "task",
             SpanKind::Reduce => "reduce",
+            SpanKind::Spill => "spill",
         }
     }
 }

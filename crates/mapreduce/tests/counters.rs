@@ -6,7 +6,7 @@
 //! identical for every `worker_threads` count — the Hadoop counter
 //! contract the algorithms' replica/candidate statistics rely on.
 
-use ij_mapreduce::{ClusterConfig, CostModel, Counters, Emitter, Engine, ReduceCtx};
+use ij_mapreduce::{ClusterConfig, CostModel, Counters, Emitter, Engine, ReduceCtx, ValueStream};
 use proptest::prelude::*;
 
 /// A small name pool keeps collisions frequent, which is where merge bugs
@@ -82,7 +82,7 @@ proptest! {
                         e.emit((n + i) % 13, n);
                     }
                 },
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<u64>| {
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<u64>| {
                     ctx.inc("groups", 1);
                     ctx.inc(&format!("bucket{}", ctx.key % 3), vs.len() as u64);
                     out.push(vs.len() as u64);

@@ -8,7 +8,7 @@
 //! `worker_threads`.
 
 use ij_mapreduce::{
-    merge_sorted_runs, ClusterConfig, CostModel, Emitter, Engine, ReduceCtx, ReducerId,
+    merge_sorted_runs, ClusterConfig, CostModel, Emitter, Engine, ReduceCtx, ReducerId, ValueStream,
 };
 use proptest::prelude::*;
 
@@ -83,9 +83,9 @@ proptest! {
                         e.emit((n + i) % 13, n * 10 + i);
                     }
                 },
-                |ctx: &mut ReduceCtx, vs: &mut Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                    for v in vs.iter() {
-                        out.push((ctx.key, *v));
+                |ctx: &mut ReduceCtx, vs: &mut ValueStream<u64>, out: &mut Vec<(u64, u64)>| {
+                    for v in vs.by_ref() {
+                        out.push((ctx.key, v));
                     }
                 },
             )

@@ -8,7 +8,10 @@
 //! output **through the Dfs** (the same store the algorithms chain
 //! cycles through), and byte-diffs the Dfs contents across thread
 //! counts. User counters from the whole chain are serialized into the
-//! same snapshot, so counter drift fails the audit too.
+//! same snapshot, so counter drift fails the audit too. Every family is
+//! additionally re-run with the reduce-memory budget pinned to
+//! [`SPILL_BUDGET`], so the spilled reduce path is byte-diffed against
+//! the in-memory baseline under every thread count as well.
 //!
 //! The workload comes from a tiny in-module LCG rather than an RNG
 //! crate: the auditor itself must be deterministic (rule `wall-clock`
@@ -25,11 +28,17 @@ use ij_core::two_way::TwoWayJoin;
 use ij_core::{Algorithm, JoinInput};
 use ij_interval::AllenPredicate::{Before, Overlaps};
 use ij_interval::{Interval, Relation};
-use ij_mapreduce::{ClusterConfig, CostModel, Dfs, Engine};
+use ij_mapreduce::{is_execution_shape, ClusterConfig, CostModel, Dfs, Engine};
 use ij_query::JoinQuery;
 
 /// Thread counts every algorithm family is audited under.
 pub const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The pinned low reduce-memory budget (approx bytes per bucket) every
+/// family is re-audited under. Small enough that interval-record buckets
+/// at the default audit scale spill to the Dfs, so the audit byte-diffs
+/// the *spilled* reduce path against the in-memory baseline.
+pub const SPILL_BUDGET: u64 = 256;
 
 /// The audit verdict for one algorithm family.
 #[derive(Debug)]
@@ -41,8 +50,13 @@ pub struct AuditCase {
     /// Output tuple count of the baseline run (sanity: the workload must
     /// actually exercise the join).
     pub output_count: u64,
-    /// Which thread counts diverged from the single-thread baseline.
+    /// Which unlimited-budget thread counts diverged from the baseline.
     pub diverged: Vec<usize>,
+    /// Which thread counts diverged under the pinned [`SPILL_BUDGET`].
+    pub budget_diverged: Vec<usize>,
+    /// Buckets spilled under the pinned budget (single-thread run) — how
+    /// hard the budgeted re-audit actually exercised the spill path.
+    pub spilled_buckets: u64,
 }
 
 /// The full audit result.
@@ -62,20 +76,23 @@ impl AuditReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for c in &self.cases {
+            let verdict = if c.identical {
+                format!("byte-identical ({} spilled buckets)", c.spilled_buckets)
+            } else if c.budget_diverged.is_empty() {
+                format!("DIVERGED at threads {:?}", c.diverged)
+            } else {
+                format!(
+                    "DIVERGED at threads {:?}, budget {SPILL_BUDGET}B at {:?}",
+                    c.diverged, c.budget_diverged
+                )
+            };
             out.push_str(&format!(
                 "{:16} threads {:?}: {} ({} output tuples)\n",
-                c.algorithm,
-                THREAD_COUNTS,
-                if c.identical {
-                    "byte-identical".to_string()
-                } else {
-                    format!("DIVERGED at threads {:?}", c.diverged)
-                },
-                c.output_count,
+                c.algorithm, THREAD_COUNTS, verdict, c.output_count,
             ));
         }
         out.push_str(if self.deterministic() {
-            "audit: PASS — all families byte-identical across thread counts\n"
+            "audit: PASS — all families byte-identical across thread counts and budgets\n"
         } else {
             "audit: FAIL — nondeterministic output detected\n"
         });
@@ -116,7 +133,7 @@ fn workload(q: &JoinQuery, seed: u64, n: usize) -> JoinInput {
     JoinInput::bind_owned(q, rels).expect("relation count matches query")
 }
 
-fn engine_with_threads(threads: usize) -> Engine {
+fn engine_with_threads(threads: usize, budget: Option<u64>) -> Engine {
     Engine::new(ClusterConfig {
         reducer_slots: 4,
         worker_threads: threads,
@@ -124,6 +141,7 @@ fn engine_with_threads(threads: usize) -> Engine {
         // Low threshold so the intra-reducer parallel kernels actually
         // engage — the audit must cover the chunked execution path.
         heavy_bucket_threshold: 64,
+        reduce_memory_budget: budget,
         cost: CostModel::default(),
     })
 }
@@ -153,14 +171,15 @@ fn suite() -> Vec<(Box<dyn Algorithm>, JoinQuery)> {
 
 /// One run's byte snapshot: output tuples in emission order plus the
 /// chain's merged user counters, written through and read back from a
-/// fresh [`Dfs`].
+/// fresh [`Dfs`]. Also returns the run's `spill.buckets` total.
 fn snapshot(
     algo: &dyn Algorithm,
     q: &JoinQuery,
     input: &JoinInput,
     threads: usize,
-) -> Result<(Vec<u8>, u64), String> {
-    let engine = engine_with_threads(threads);
+    budget: Option<u64>,
+) -> Result<(Vec<u8>, u64, u64), String> {
+    let engine = engine_with_threads(threads, budget);
     let out = algo
         .run(q, input, &engine)
         .map_err(|e| format!("{} failed under {threads} threads: {e}", algo.name()))?;
@@ -170,13 +189,15 @@ fn snapshot(
     for t in &out.tuples {
         lines.push(format!("{t:?}"));
     }
-    for (k, v) in out.chain.total_counters().iter() {
-        // `kernel.parallel_buckets` counts buckets that physically ran
-        // chunked — execution shape, not data plane. Like the wall-time
-        // metrics it is legitimately thread-count-dependent, so it is
-        // excluded from the byte-diff. Every data-plane counter
-        // (emission, candidate, replica and kernel-routing counts) stays.
-        if k == "kernel.parallel_buckets" {
+    let counters = out.chain.total_counters();
+    for (k, v) in counters.iter() {
+        // Execution-shape counters (`kernel.parallel_buckets`, `spill.*`)
+        // describe how the run was physically scheduled — they are
+        // legitimately thread-count- and budget-dependent, so like the
+        // wall-time metrics they are excluded from the byte-diff. Every
+        // data-plane counter (emission, candidate, replica and
+        // kernel-routing counts) stays.
+        if is_execution_shape(k) {
             continue;
         }
         lines.push(format!("counter {k}={v}"));
@@ -188,29 +209,51 @@ fn snapshot(
     let stored = dfs
         .read::<String>(&path)
         .map_err(|e| format!("dfs read failed: {e}"))?;
-    Ok((stored.join("\n").into_bytes(), out.count))
+    Ok((
+        stored.join("\n").into_bytes(),
+        out.count,
+        counters.get("spill.buckets"),
+    ))
 }
 
 /// Runs the audit. `scale` is the per-relation interval count (the CLI
 /// default is 120 — small enough to finish in seconds, dense enough to
 /// produce thousands of candidate pairs per reducer).
+///
+/// Each family is audited twice per thread count: with an unlimited
+/// reduce-memory budget (the in-memory merge path) and with the pinned
+/// [`SPILL_BUDGET`] (the spill-to-Dfs path). Every run must byte-match
+/// the single-thread unlimited baseline.
 pub fn run_audit(scale: usize) -> Result<AuditReport, String> {
     let mut report = AuditReport::default();
     for (algo, q) in suite() {
         let input = workload(&q, 0x5eed + q.num_relations() as u64, scale);
-        let (base, count) = snapshot(algo.as_ref(), &q, &input, THREAD_COUNTS[0])?;
+        let (base, count, _) = snapshot(algo.as_ref(), &q, &input, THREAD_COUNTS[0], None)?;
         let mut diverged = Vec::new();
         for &t in &THREAD_COUNTS[1..] {
-            let (bytes, _) = snapshot(algo.as_ref(), &q, &input, t)?;
+            let (bytes, _, _) = snapshot(algo.as_ref(), &q, &input, t, None)?;
             if bytes != base {
                 diverged.push(t);
             }
         }
+        let mut budget_diverged = Vec::new();
+        let mut spilled_buckets = 0;
+        for (i, &t) in THREAD_COUNTS.iter().enumerate() {
+            let (bytes, _, spilled) = snapshot(algo.as_ref(), &q, &input, t, Some(SPILL_BUDGET))?;
+            if i == 0 {
+                spilled_buckets = spilled;
+            }
+            if bytes != base {
+                budget_diverged.push(t);
+            }
+        }
         report.cases.push(AuditCase {
             algorithm: algo.name(),
-            identical: diverged.is_empty(),
+            identical: diverged.is_empty() && budget_diverged.is_empty(),
             output_count: count,
             diverged,
+            budget_diverged,
+            spilled_buckets,
         });
     }
     Ok(report)
@@ -245,5 +288,10 @@ mod tests {
                 c.algorithm
             );
         }
+        assert!(
+            report.cases.iter().any(|c| c.spilled_buckets > 0),
+            "pinned budget of {SPILL_BUDGET}B spilled nothing — budget too generous\n{}",
+            report.render()
+        );
     }
 }

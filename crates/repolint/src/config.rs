@@ -87,6 +87,7 @@ pub fn in_no_panic_scope(path: &str) -> bool {
     p.ends_with("crates/mapreduce/src/engine.rs")
         || p.ends_with("crates/mapreduce/src/dfs.rs")
         || p.ends_with("crates/mapreduce/src/job.rs")
+        || p.ends_with("crates/mapreduce/src/spill.rs")
 }
 
 /// R4 scope: the predicate-specialized kernel layer.
@@ -123,7 +124,10 @@ mod tests {
         assert!(!in_wall_clock_scope("crates/datagen/src/lib.rs"));
 
         assert!(in_no_panic_scope("crates/mapreduce/src/engine.rs"));
+        assert!(in_no_panic_scope("crates/mapreduce/src/spill.rs"));
         assert!(!in_no_panic_scope("crates/mapreduce/src/metrics.rs"));
+
+        assert!(in_wall_clock_scope("crates/mapreduce/src/spill.rs"));
 
         assert!(in_kernel_doc_scope("crates/core/src/kernel/mod.rs"));
         assert!(!in_kernel_doc_scope("crates/core/src/cascade.rs"));

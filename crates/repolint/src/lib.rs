@@ -9,7 +9,7 @@
 //! |------|-----------|
 //! | `unordered-iter` | no `HashMap`/`HashSet` where iteration order can reach shuffle keys, emitted pairs or metrics |
 //! | `wall-clock` | no `SystemTime`/`Instant`/thread-id/entropy outside the trace/bench/datagen allowlist |
-//! | `no-panic` | engine hot paths (`engine.rs`, `dfs.rs`, `job.rs`) return typed [`ij_mapreduce::EngineError`]s, never panic |
+//! | `no-panic` | engine hot paths (`engine.rs`, `dfs.rs`, `job.rs`, `spill.rs`) return typed [`ij_mapreduce::EngineError`]s, never panic |
 //! | `kernel-doc` | every `pub fn` in `core::kernel` states the predicate classes it is complete for |
 //!
 //! `// repolint: allow(<rule>): <justification>` suppresses a rule for
@@ -18,8 +18,9 @@
 //!
 //! The static pass is validated against the property it protects:
 //! `repolint audit` ([`audit::run_audit`]) runs all eleven algorithm
-//! families under threads 1/2/8 and byte-diffs their Dfs-serialized
-//! output.
+//! families under threads 1/2/8 — with the reduce-memory budget both
+//! unlimited and pinned low enough to spill — and byte-diffs their
+//! Dfs-serialized output.
 
 pub mod audit;
 pub mod config;

@@ -1,0 +1,15 @@
+//! Seeded violation fixture for rule `wall-clock` scoped to the spill
+//! module (linted as if it lived at `crates/mapreduce/src/spill.rs`,
+//! but WITHOUT the real module's file-scope allow-marker). Not
+//! compiled — read as text by the self-test.
+
+use std::time::Instant;
+
+pub fn spill_run_timed(bytes: &[u8]) -> u64 {
+    // Unjustified timing in the spill path: the real spill.rs carries a
+    // file-scope allow-marker because its timers only feed
+    // JobMetrics::spill_wall; without that marker this must be flagged.
+    let t0 = Instant::now();
+    let _ = bytes.len();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,27 @@
+//! Seeded violation fixture for rule `no-panic` scoped to the spill
+//! module (linted as if it lived at `crates/mapreduce/src/spill.rs`).
+//! Not compiled — read as text by the self-test.
+
+pub fn write_run(values: Option<Vec<u64>>) -> usize {
+    // A panicking spill write would tear down a reduce worker mid-job;
+    // the spill path must surface Dfs failures as typed errors instead.
+    let vals = values.unwrap();
+    if vals.is_empty() {
+        panic!("empty spill run");
+    }
+    vals.len()
+}
+
+pub fn read_chunk(chunk: Option<Vec<u64>>) -> Vec<u64> {
+    chunk.expect("spill run missing from the Dfs")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this unwrap must NOT be reported.
+    #[test]
+    fn fine_here() {
+        let x: Option<u32> = Some(1);
+        x.unwrap();
+    }
+}

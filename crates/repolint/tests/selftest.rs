@@ -63,6 +63,34 @@ fn r4_fixture_trips_kernel_doc() {
 }
 
 #[test]
+fn r3_spill_fixture_trips_no_panic_in_spill_scope() {
+    let v = check_file(
+        "crates/mapreduce/src/spill.rs",
+        &fixture("r3_no_panic_spill.rs"),
+    );
+    assert_eq!(v.len(), 3, "{v:?}"); // unwrap, panic!, expect — not the test unwrap
+    assert!(v.iter().all(|v| v.rule == config::NO_PANIC));
+    // The same source outside the no-panic scope passes.
+    let elsewhere = check_file(
+        "crates/mapreduce/src/metrics.rs",
+        &fixture("r3_no_panic_spill.rs"),
+    );
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn r2_spill_fixture_trips_wall_clock_without_the_real_marker() {
+    let v = check_file(
+        "crates/mapreduce/src/spill.rs",
+        &fixture("r2_wall_clock_spill.rs"),
+    );
+    assert!(!v.is_empty());
+    assert!(v.iter().all(|v| v.rule == config::WALL_CLOCK), "{v:?}");
+    let msgs: String = v.iter().map(|v| v.message.as_str()).collect();
+    assert!(msgs.contains("Instant"));
+}
+
+#[test]
 fn fixtures_render_to_json() {
     let v = check_file("crates/mapreduce/src/engine.rs", &fixture("r3_no_panic.rs"));
     let json = report::to_json(&v, 1);

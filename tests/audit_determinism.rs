@@ -1,4 +1,5 @@
-//! Whole-suite determinism: every algorithm family, threads 1/2/8.
+//! Whole-suite determinism: every algorithm family, threads 1/2/8,
+//! budgets unlimited and pinned-low.
 //!
 //! PR 3's kernel tests proved chunked intra-bucket execution is
 //! order-preserving; `tests/determinism.rs` checks two families
@@ -8,8 +9,11 @@
 //! with a low heavy-bucket threshold (so the parallel kernels engage),
 //! serializes each run's output tuples and chain `total_counters`
 //! through the Dfs, and byte-diffs the snapshots across thread counts.
+//! Every family is additionally re-run with `reduce_memory_budget`
+//! pinned to the auditor's `SPILL_BUDGET`, so the spill-to-Dfs reduce
+//! path is byte-diffed against the in-memory baseline too.
 
-use repolint::audit::{run_audit, THREAD_COUNTS};
+use repolint::audit::{run_audit, SPILL_BUDGET, THREAD_COUNTS};
 
 #[test]
 fn all_algorithm_families_are_byte_identical_across_thread_counts() {
@@ -23,8 +27,8 @@ fn all_algorithm_families_are_byte_identical_across_thread_counts() {
         assert!(
             case.identical,
             "{} diverged from the single-thread baseline at threads {:?} \
-             (of {THREAD_COUNTS:?})",
-            case.algorithm, case.diverged
+             (budget {SPILL_BUDGET}B at {:?}) (of {THREAD_COUNTS:?})",
+            case.algorithm, case.diverged, case.budget_diverged
         );
         // The workload must actually exercise the join — a zero-output
         // run would pass the diff vacuously.
@@ -34,5 +38,12 @@ fn all_algorithm_families_are_byte_identical_across_thread_counts() {
             case.algorithm
         );
     }
+    // The pinned budget must actually drive at least one family through
+    // the spill path, or the budgeted re-audit is vacuous.
+    assert!(
+        report.cases.iter().any(|c| c.spilled_buckets > 0),
+        "no family spilled under the pinned {SPILL_BUDGET}B budget:\n{}",
+        report.render()
+    );
     assert!(report.deterministic());
 }
