@@ -246,6 +246,50 @@ mod tests {
     }
 
     #[test]
+    fn malformed_lines_are_skipped() {
+        let src = "not json at all\n\
+                   {\"id\":\"sweep/ok\",\"mean_ns\":100,\"iters\":1}\n\
+                   {\"id\":\"sweep/no_mean\",\"iters\":1}\n\
+                   {\"mean_ns\":500,\"iters\":1}\n\
+                   {\"id\":\"sweep/bad_mean\",\"mean_ns\":\"fast\",\"iters\":1}\n\
+                   {\"id\":\"unterminated\n";
+        let lines = parse_summary(src);
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert_eq!(
+            lines[0],
+            BenchLine {
+                id: "sweep/ok".into(),
+                mean_ns: 100
+            }
+        );
+    }
+
+    #[test]
+    fn ids_without_group_separator_form_their_own_group() {
+        let base = parse_summary("{\"id\":\"loner\",\"mean_ns\":100,\"iters\":1}\n");
+        assert_eq!(group_of(&base[0].id), "loner");
+        let cur = parse_summary("{\"id\":\"loner\",\"mean_ns\":200,\"iters\":1}\n");
+        let r = group_ratios(&base, &cur);
+        assert_eq!(r.len(), 1);
+        let (ratio, n) = r["loner"];
+        assert_eq!(n, 1);
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn empty_baseline_yields_no_ratios() {
+        let cur = parse_summary(BASE);
+        assert!(group_ratios(&[], &cur).is_empty());
+        assert!(group_ratios(&cur, &[]).is_empty());
+        assert!(parse_summary("").is_empty());
+        // Zero means never divide: the pair is dropped, not Inf/NaN.
+        let zero = parse_summary("{\"id\":\"sweep/n1000\",\"mean_ns\":0,\"iters\":1}\n");
+        let base = parse_summary(BASE);
+        assert!(group_ratios(&base, &zero).is_empty());
+        assert!(group_ratios(&zero, &base).is_empty());
+    }
+
+    #[test]
     fn arg_parsing_requires_paths() {
         assert!(parse_args(Vec::<String>::new()).is_err());
         let ok = parse_args(

@@ -17,9 +17,11 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin sweep [--scale f]`.
 
-use ij_bench::report::{fmt_phases, fmt_sim, fmt_spill, Report};
+use ij_bench::report::{fmt_phases, fmt_sim, fmt_spill, telemetry_note, Report};
 use ij_bench::scale::BenchArgs;
-use ij_bench::scenarios::{assert_same_output, measure, traced_engine, write_trace};
+use ij_bench::scenarios::{
+    assert_same_output, instrumented_engine, measure, write_metrics, write_trace,
+};
 use ij_core::all_matrix::AllMatrix;
 use ij_core::all_replicate::AllReplicate;
 use ij_core::cascade::TwoWayCascade;
@@ -34,7 +36,12 @@ fn main() {
         0.03,
         "sweep: ablations (distributions, scale crossover, D1)",
     );
-    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some(), args.budget);
+    let (engine, tracer, telemetry) = instrumented_engine(
+        args.slots,
+        args.trace.is_some(),
+        args.budget,
+        args.metrics_out.is_some(),
+    );
 
     // ---- 1. Distribution sweep on Q1 ---------------------------------------
     let q1 = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
@@ -376,6 +383,10 @@ fn main() {
             fmt_sim(depth.simulated).into(),
         ]);
     }
+    if let Some(tel) = &telemetry {
+        rep.note(telemetry_note(&tel.snapshot()));
+    }
     rep.finish(args.json.as_deref());
     write_trace(args.trace.as_deref(), &tracer);
+    write_metrics(args.metrics_out.as_deref(), &telemetry);
 }

@@ -8,9 +8,13 @@
 //!
 //! Run: `cargo run --release -p ij-bench --bin table1 [--scale f]`.
 
-use ij_bench::report::{fmt_phases, fmt_sim, fmt_spill, skew_report_table, skew_row, Report};
+use ij_bench::report::{
+    fmt_phases, fmt_sim, fmt_spill, skew_report_table, skew_row, telemetry_note, Report,
+};
 use ij_bench::scale::BenchArgs;
-use ij_bench::scenarios::{assert_same_output, measure, traced_engine, write_trace};
+use ij_bench::scenarios::{
+    assert_same_output, instrumented_engine, measure, write_metrics, write_trace,
+};
 use ij_core::all_replicate::AllReplicate;
 use ij_core::cascade::TwoWayCascade;
 use ij_core::rccis::Rccis;
@@ -24,7 +28,12 @@ fn main() {
         0.05,
         "table1: Q1 = R1 ov R2 ov R3, varying nI (paper: 0.5M..1.25M)",
     );
-    let (engine, tracer) = traced_engine(args.slots, args.trace.is_some(), args.budget);
+    let (engine, tracer, telemetry) = instrumented_engine(
+        args.slots,
+        args.trace.is_some(),
+        args.budget,
+        args.metrics_out.is_some(),
+    );
     let q = JoinQuery::chain(&[Overlaps, Overlaps]).unwrap();
     let paper_sizes: [u64; 4] = [500_000, 750_000, 1_000_000, 1_250_000];
     let mut skew_rep = skew_report_table(
@@ -146,10 +155,14 @@ fn main() {
             fmt_spill(&rc.counters, rc.spill_secs)
         );
     }
+    if let Some(tel) = &telemetry {
+        report.note(telemetry_note(&tel.snapshot()));
+    }
     report.finish(args.json.as_deref());
     for n in counters_note {
         skew_rep.note(n);
     }
     skew_rep.finish(None);
     write_trace(args.trace.as_deref(), &tracer);
+    write_metrics(args.metrics_out.as_deref(), &telemetry);
 }

@@ -1,7 +1,7 @@
 //! Result tables: aligned console output plus machine-readable JSON (used
 //! to regenerate EXPERIMENTS.md).
 
-use ij_mapreduce::{Counters, ReducerLoad, SkewReport};
+use ij_mapreduce::{Counters, ReducerLoad, SkewReport, TelemetrySnapshot};
 use serde::Serialize;
 use std::io::Write;
 
@@ -239,6 +239,29 @@ fn fmt_secs(s: f64) -> String {
     }
 }
 
+/// Summarizes a [`TelemetrySnapshot`] as a one-line report note: job and
+/// reducer progress, heartbeat counts, detected stragglers, and the
+/// reduce service-time histogram's spread when it was recorded.
+pub fn telemetry_note(snap: &TelemetrySnapshot) -> String {
+    let s = |name: &str| snap.series.get(name).copied().unwrap_or(0);
+    let mut out = format!(
+        "telemetry: jobs {}/{} reducers {}/{} heartbeats map={} reduce={} stragglers={}",
+        s("progress.jobs_finished"),
+        s("progress.jobs_started"),
+        s("progress.reducers_done"),
+        s("progress.reducers"),
+        s("telemetry.heartbeats.map"),
+        s("telemetry.heartbeats.reduce"),
+        s("telemetry.stragglers"),
+    );
+    if let Some(h) = snap.histograms.get("reduce.service_ns") {
+        if let (Some(min), Some(max)) = (h.min(), h.max()) {
+            out.push_str(&format!(" service_ns[min={min} max={max} n={}]", h.count()));
+        }
+    }
+    out
+}
+
 /// The column set matching [`skew_row`] — one row per job/cycle, summarizing
 /// its per-reducer load distribution (the Section 7 / Figure 4 diagnosis).
 pub fn skew_report_table(id: &str, title: &str) -> Report {
@@ -409,6 +432,28 @@ mod tests {
         assert!(!lines[2].contains('#'), "zero load draws no bar: {h}");
         assert!(lines[3].contains('#'), "tiny load still visible: {h}");
         assert!(load_histogram(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn telemetry_note_summarizes_progress_and_service_time() {
+        let mut snap = TelemetrySnapshot::default();
+        let empty = telemetry_note(&snap);
+        assert!(empty.contains("jobs 0/0"), "{empty}");
+        assert!(!empty.contains("service_ns"), "{empty}");
+        snap.series.insert("progress.jobs_started".into(), 3);
+        snap.series.insert("progress.jobs_finished".into(), 3);
+        snap.series.insert("progress.reducers".into(), 16);
+        snap.series.insert("progress.reducers_done".into(), 16);
+        snap.series.insert("telemetry.stragglers".into(), 2);
+        let mut h = ij_mapreduce::Histogram::new();
+        h.record(100);
+        h.record(900);
+        snap.histograms.insert("reduce.service_ns".into(), h);
+        let note = telemetry_note(&snap);
+        assert!(note.contains("jobs 3/3"), "{note}");
+        assert!(note.contains("reducers 16/16"), "{note}");
+        assert!(note.contains("stragglers=2"), "{note}");
+        assert!(note.contains("service_ns[min=100 max=900 n=2]"), "{note}");
     }
 
     #[test]

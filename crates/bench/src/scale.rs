@@ -31,7 +31,8 @@ impl fmt::Display for Scale {
 /// Minimal CLI argument parser shared by the bench binaries.
 ///
 /// Recognized flags: `--scale <f64>`, `--seed <u64>`, `--json <path>`,
-/// `--slots <usize>`, `--trace <path>`, `--budget <bytes>`, `--help`.
+/// `--slots <usize>`, `--trace <path>`, `--budget <bytes>`,
+/// `--metrics-out <path>`, `--help`.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Workload scale relative to the paper.
@@ -49,6 +50,10 @@ pub struct BenchArgs {
     /// exceeding it spill to the Dfs. `None` (the default) keeps every
     /// bucket in memory.
     pub budget: Option<u64>,
+    /// Where to write the live-telemetry snapshot in Prometheus text
+    /// exposition format after the run, if anywhere. Setting this also
+    /// attaches the telemetry plane to the engine.
+    pub metrics_out: Option<String>,
 }
 
 impl BenchArgs {
@@ -60,7 +65,7 @@ impl BenchArgs {
                 eprintln!("error: {e}\n");
                 eprintln!("{about}");
                 eprintln!(
-                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)\n       --budget <u64> (reduce-memory budget in bytes; oversized buckets spill)"
+                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)\n       --budget <u64> (reduce-memory budget in bytes; oversized buckets spill)\n       --metrics-out <path> (write a Prometheus text snapshot of the run's telemetry)"
                 );
                 std::process::exit(2);
             })
@@ -79,6 +84,7 @@ impl BenchArgs {
             slots: 16,
             trace: None,
             budget: None,
+            metrics_out: None,
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -108,6 +114,7 @@ impl BenchArgs {
                     )
                 }
                 "--trace" => out.trace = Some(value("--trace")?),
+                "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
                 "--slots" => {
                     out.slots = value("--slots")?
                         .parse()
@@ -138,14 +145,27 @@ mod tests {
         assert!(a.json.is_none());
         assert!(a.trace.is_none());
         assert!(a.budget.is_none());
+        assert!(a.metrics_out.is_none());
     }
 
     #[test]
     fn parses_flags() {
         let a = BenchArgs::parse_from(
             sv(&[
-                "--scale", "0.5", "--seed", "7", "--json", "out.json", "--slots", "4", "--trace",
-                "t.json", "--budget", "4096",
+                "--scale",
+                "0.5",
+                "--seed",
+                "7",
+                "--json",
+                "out.json",
+                "--slots",
+                "4",
+                "--trace",
+                "t.json",
+                "--budget",
+                "4096",
+                "--metrics-out",
+                "m.prom",
             ]),
             0.05,
             "t",
@@ -157,6 +177,12 @@ mod tests {
         assert_eq!(a.slots, 4);
         assert_eq!(a.trace.as_deref(), Some("t.json"));
         assert_eq!(a.budget, Some(4096));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+    }
+
+    #[test]
+    fn metrics_out_needs_a_value() {
+        assert!(BenchArgs::parse_from(sv(&["--metrics-out"]), 0.1, "t").is_err());
     }
 
     #[test]

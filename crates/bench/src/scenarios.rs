@@ -1,7 +1,7 @@
 //! Shared measurement plumbing for the per-table/figure binaries.
 
 use ij_core::{Algorithm, JoinInput, JoinOutput};
-use ij_mapreduce::{ClusterConfig, Counters, Engine, Tracer};
+use ij_mapreduce::{ClusterConfig, Counters, Engine, Telemetry, Tracer};
 use ij_query::JoinQuery;
 use std::sync::Arc;
 use std::time::Instant;
@@ -57,15 +57,55 @@ pub fn traced_engine(
     traced: bool,
     budget: Option<u64>,
 ) -> (Engine, Option<Arc<Tracer>>) {
-    let engine = Engine::new(ClusterConfig {
+    let (engine, tracer, _) = instrumented_engine(slots, traced, budget, false);
+    (engine, tracer)
+}
+
+/// [`traced_engine`] plus the live-telemetry plane: when `metrics`, a
+/// [`Telemetry`] instance (monotonic clock, default heartbeat/straggler
+/// config) is attached to the engine, accumulating progress gauges,
+/// histograms and flight-recorder events across every job run. Dump the
+/// final snapshot with [`write_metrics`] — the `--metrics-out <path>`
+/// path of the bench binaries.
+pub fn instrumented_engine(
+    slots: usize,
+    traced: bool,
+    budget: Option<u64>,
+    metrics: bool,
+) -> (Engine, Option<Arc<Tracer>>, Option<Arc<Telemetry>>) {
+    let mut engine = Engine::new(ClusterConfig {
         reduce_memory_budget: budget,
         ..ClusterConfig::with_slots(slots)
     });
-    if traced {
+    let tracer = if traced {
         let tracer = Arc::new(Tracer::new());
-        (engine.with_tracer(tracer.clone()), Some(tracer))
+        engine = engine.with_tracer(tracer.clone());
+        Some(tracer)
     } else {
-        (engine, None)
+        None
+    };
+    let telemetry = if metrics {
+        let telemetry = Arc::new(Telemetry::new());
+        engine = engine.with_telemetry(Arc::clone(&telemetry));
+        Some(telemetry)
+    } else {
+        None
+    };
+    (engine, tracer, telemetry)
+}
+
+/// Writes the telemetry snapshot to `path` in Prometheus text exposition
+/// format (no-op without an attached telemetry plane).
+pub fn write_metrics(path: Option<&str>, telemetry: &Option<Arc<Telemetry>>) {
+    if let (Some(path), Some(tel)) = (path, telemetry) {
+        let snap = tel.snapshot();
+        std::fs::write(path, snap.to_prometheus())
+            .unwrap_or_else(|e| panic!("cannot write metrics {path}: {e}"));
+        eprintln!(
+            "(wrote {path}: {} series, {} histograms — Prometheus text format)",
+            snap.series.len(),
+            snap.histograms.len()
+        );
     }
 }
 
@@ -192,6 +232,40 @@ mod tests {
         let (_, no_tracer) = traced_engine(4, false, None);
         assert!(no_tracer.is_none());
         write_trace(None, &no_tracer); // no-op must not panic
+    }
+
+    #[test]
+    fn instrumented_engine_collects_telemetry_and_writes_prometheus() {
+        let (e, _, telemetry) = instrumented_engine(4, false, None, true);
+        assert!(telemetry.is_some());
+        let q = JoinQuery::chain(&[Overlaps]).unwrap();
+        let input = JoinInput::bind_owned(
+            &q,
+            vec![
+                Relation::from_intervals("A", vec![Interval::new(0, 10).unwrap()]),
+                Relation::from_intervals("B", vec![Interval::new(5, 15).unwrap()]),
+            ],
+        )
+        .unwrap();
+        let alg = TwoWayJoin {
+            partitions: 4,
+            mode: OutputMode::Count,
+        };
+        let m = measure(&alg, &q, &input, &e);
+        assert_eq!(m.output, 1);
+        let tel = telemetry.as_ref().unwrap();
+        let snap = tel.snapshot();
+        assert!(snap.series["progress.jobs_finished"] > 0);
+        let path = std::env::temp_dir().join("ij_bench_metrics_test.prom");
+        write_metrics(path.to_str(), &telemetry);
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("# TYPE ij_progress_jobs_started gauge"));
+        assert!(written.contains("ij_telemetry_stragglers"));
+        let _ = std::fs::remove_file(&path);
+
+        let (_, _, no_tel) = instrumented_engine(4, false, None, false);
+        assert!(no_tel.is_none());
+        write_metrics(None, &no_tel); // no-op must not panic
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::job::{BucketSource, Emitter, Mapper, ReduceCtx, Reducer, ReducerId, S
 use crate::metrics::{Counters, JobMetrics, ReducerLoad};
 use crate::record::Record;
 use crate::spill::{SpillRun, SpillStats, SpillStore, SpilledBucket};
+use crate::telemetry::{detect_stragglers, HistogramRegistry, Telemetry};
 use crate::trace::{SpanKind, TraceEvent, Tracer};
 use std::any::Any;
 use std::cmp::Reverse;
@@ -128,12 +129,13 @@ pub struct JobOutput<O> {
 type ReducePhaseResult<O> = (Vec<(ReducerId, Vec<O>)>, Vec<ReducerLoad>, Counters, u64);
 
 /// The MapReduce engine. Cheap to construct; holds only configuration, an
-/// optional fault plan and an optional tracer.
+/// optional fault plan, an optional tracer and an optional telemetry plane.
 #[derive(Debug, Default)]
 pub struct Engine {
     cfg: ClusterConfig,
     faults: Option<Arc<FaultPlan>>,
     tracer: Option<Arc<Tracer>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Engine {
@@ -143,6 +145,7 @@ impl Engine {
             cfg,
             faults: None,
             tracer: None,
+            telemetry: None,
         }
     }
 
@@ -164,6 +167,20 @@ impl Engine {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches a live [`Telemetry`] plane: every subsequent job feeds
+    /// progress gauges, heartbeats, histograms, the straggler detector and
+    /// the flight recorder (see [`crate::telemetry`]). Without one the
+    /// engine pays only per-phase `Option` checks.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry plane, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The engine's configuration.
@@ -203,19 +220,48 @@ impl Engine {
         M: Record,
         O: Record,
     {
+        let result = self.run_job_inner(name, input, mapper, reducer);
+        // The flight-recorder dump on the typed-error path: freeze the
+        // recent-events ring as JSONL for forensics (readable via
+        // [`Telemetry::last_flight_dump`]).
+        if let (Err(e), Some(tel)) = (&result, &self.telemetry) {
+            tel.note_error(name, e);
+        }
+        result
+    }
+
+    fn run_job_inner<I, M, O>(
+        &self,
+        name: &str,
+        input: &[I],
+        mapper: impl Mapper<I, M>,
+        reducer: impl Reducer<M, O>,
+    ) -> Result<JobOutput<O>, EngineError>
+    where
+        I: Record,
+        M: Record,
+        O: Record,
+    {
         let start = Instant::now();
         let tracer = self.tracer.as_deref();
+        let telemetry = self.telemetry.as_deref();
         let job_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
+        if let Some(tel) = telemetry {
+            tel.job_start(name, input.len() as u64);
+        }
 
         // ---- Map phase: per-worker locally sorted runs ---------------------
         let map_start = Instant::now();
         let map_t0 = tracer.map(Tracer::now_us).unwrap_or(0);
-        let (runs, map_input_bytes, mut counters) = self.run_map_phase(input, &mapper);
+        let (runs, map_input_bytes, mut counters) = self.run_map_phase(name, input, &mapper);
         if let Some(t) = tracer {
             t.record(
                 TraceEvent::span(SpanKind::Phase, "map", 0, map_t0, t.now_us())
                     .arg("records", input.len() as u64),
             );
+        }
+        if let Some(tel) = telemetry {
+            tel.phase_end(name, "map", input.len() as u64);
         }
         let map_wall = map_start.elapsed();
 
@@ -235,7 +281,7 @@ impl Engine {
                 (sources, stats, SpillStats::default(), 0u64)
             }
             Some(budget) => {
-                let mut store = SpillStore::new(budget, tracer);
+                let mut store = SpillStore::new(budget, tracer, telemetry);
                 let (sources, stats) =
                     merge_sorted_runs_budgeted(runs, &mut store).map_err(|e| {
                         EngineError::Spill {
@@ -255,6 +301,19 @@ impl Engine {
                     .arg("bytes", shuffle.bytes)
                     .arg("reducers", buckets.len() as u64),
             );
+        }
+        if let Some(tel) = telemetry {
+            // Bucket sizes in key order and one shuffle-volume sample —
+            // both data-plane (independent of threads and budget), merged
+            // under one lock.
+            let mut hists = HistogramRegistry::new();
+            for (_, source) in &buckets {
+                hists.record("reduce.bucket_pairs", source.len() as u64);
+            }
+            hists.record("shuffle.job_bytes", shuffle.bytes);
+            tel.merge_hists(&hists);
+            tel.gauges().add_reducers(buckets.len() as u64);
+            tel.phase_end(name, "shuffle", shuffle.pairs);
         }
         let shuffle_wall = shuffle_start.elapsed();
 
@@ -291,6 +350,10 @@ impl Engine {
                     .arg("pairs", shuffle.pairs)
                     .arg("outputs", output_records),
             );
+        }
+        if let Some(tel) = telemetry {
+            tel.phase_end(name, "reduce", output_records);
+            tel.job_end(name, output_records);
         }
         let reduce_wall = reduce_start.elapsed();
 
@@ -339,6 +402,7 @@ impl Engine {
     /// sequential execution.
     fn run_map_phase<I, M>(
         &self,
+        name: &str,
         input: &[I],
         mapper: &impl Mapper<I, M>,
     ) -> (Vec<SortedRun<M>>, u64, Counters)
@@ -353,6 +417,10 @@ impl Engine {
         let chunk = input.len().div_ceil(threads);
         let chunks: Vec<&[I]> = input.chunks(chunk).collect();
         let tracer = self.tracer.as_deref();
+        let telemetry = self.telemetry.as_deref();
+        let hb_every = telemetry
+            .map(|t| t.config().heartbeat_every.max(1))
+            .unwrap_or(u64::MAX);
         let mut runs: Vec<SortedRun<M>> = Vec::with_capacity(chunks.len());
         let mut input_bytes = 0u64;
         let mut counters = Counters::new();
@@ -367,9 +435,25 @@ impl Engine {
                         let t0 = tracer.map(Tracer::now_us).unwrap_or(0);
                         let mut em = Emitter::new();
                         let mut bytes = 0u64;
+                        let mut processed = 0u64;
+                        let mut since_heartbeat = 0u64;
                         for rec in *c {
                             bytes += rec.approx_bytes();
                             mapper.map(rec, &mut em);
+                            if let Some(tel) = telemetry {
+                                processed += 1;
+                                since_heartbeat += 1;
+                                if since_heartbeat == hb_every {
+                                    since_heartbeat = 0;
+                                    tel.gauges().add_map_records(hb_every);
+                                    tel.heartbeat(name, "map", ci as u64, processed);
+                                }
+                            }
+                        }
+                        if let Some(tel) = telemetry {
+                            // Sub-quantum remainder, so progress.map_records
+                            // sums to exactly the input record count.
+                            tel.gauges().add_map_records(since_heartbeat);
                         }
                         let emitted = em.emitted() as u64;
                         let (run, worker_counters) = em.finish();
@@ -404,6 +488,14 @@ impl Engine {
         }
         if let Some(t) = tracer {
             t.record_batch(events);
+        }
+        if let Some(tel) = telemetry {
+            let mut hists = HistogramRegistry::new();
+            for c in &chunks {
+                hists.record("map.task_records", c.len() as u64);
+            }
+            tel.merge_hists(&hists);
+            tel.gauges().add_map_tasks(chunks.len() as u64);
         }
         (runs, input_bytes, counters)
     }
@@ -445,6 +537,7 @@ impl Engine {
             load: ReducerLoad,
             counters: Counters,
             event: Option<TraceEvent>,
+            service_ns: u64,
         }
 
         let threads = self.cfg.worker_threads.max(1);
@@ -463,6 +556,11 @@ impl Engine {
         let heavy_threshold = self.cfg.heavy_bucket_threshold;
         let faults = self.faults.clone();
         let tracer = self.tracer.as_deref();
+        let telemetry = self.telemetry.clone();
+        let hb_every = telemetry
+            .as_ref()
+            .map_or(u64::MAX, |t| t.config().heartbeat_every.max(1));
+        let job_label: Arc<str> = Arc::from(job_name);
         let slots: Vec<BucketSlot<M>> = buckets
             .into_iter()
             .map(|(key, source)| BucketSlot {
@@ -486,6 +584,8 @@ impl Engine {
         let next = &next;
         let faults = &faults;
         let result_refs = &result_slots;
+        let telemetry_ref = &telemetry;
+        let job_label = &job_label;
 
         crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads.min(n.max(1)))
@@ -536,6 +636,7 @@ impl Engine {
                                 };
                                 let spilled = source.is_spilled();
                                 let r0 = tracer.map(Tracer::now_us).unwrap_or(0);
+                                let svc0 = telemetry_ref.as_ref().map_or(0, |t| t.now_nanos());
                                 let mut out = Vec::new();
                                 let mut ctx = ReduceCtx::with_parallelism(
                                     slot.key,
@@ -543,6 +644,14 @@ impl Engine {
                                     heavy_threshold,
                                 );
                                 let mut values = source.into_stream();
+                                if let Some(tel) = telemetry_ref {
+                                    values.enable_heartbeats(
+                                        Arc::clone(tel),
+                                        Arc::clone(job_label),
+                                        slot.key,
+                                        hb_every,
+                                    );
+                                }
                                 reducer.reduce(&mut ctx, &mut values, &mut out);
                                 // Streaming can't surface a Result per value,
                                 // so a spilled-read failure ends the stream
@@ -555,6 +664,13 @@ impl Engine {
                                     });
                                 }
                                 spill_read_nanos += values.io_nanos();
+                                // Drop the stream before reading the clock so
+                                // its heartbeat remainder is flushed within
+                                // the bucket's service window.
+                                drop(values);
+                                let service_ns = telemetry_ref
+                                    .as_ref()
+                                    .map_or(0, |t| t.now_nanos().saturating_sub(svc0));
                                 let event = tracer.map(|t| {
                                     TraceEvent::span(
                                         SpanKind::Reduce,
@@ -583,7 +699,11 @@ impl Engine {
                                     load,
                                     counters,
                                     event,
+                                    service_ns,
                                 });
+                                if let Some(tel) = telemetry_ref {
+                                    tel.gauges().note_reducer_done();
+                                }
                                 buckets_run += 1;
                                 break;
                             }
@@ -630,14 +750,36 @@ impl Engine {
         let mut loads = Vec::with_capacity(n);
         let mut counters = Counters::new();
         let mut reduce_events: Vec<TraceEvent> = Vec::new();
+        let mut service: Vec<(ReducerId, u64, u64)> = Vec::new();
         for slot in result_slots {
             let r = slot
                 .into_inner()
                 .ok_or(EngineError::Internal("reducer left no result"))?;
+            if telemetry.is_some() {
+                service.push((r.key, r.load.pairs_received, r.service_ns));
+            }
             outs.push((r.key, r.out));
             loads.push(r.load);
             counters.merge(&r.counters);
             reduce_events.extend(r.event);
+        }
+        if let Some(tel) = &telemetry {
+            // Service-time samples in bucket (key) order — the same
+            // deterministic merge discipline as the trace batches below.
+            let mut hists = HistogramRegistry::new();
+            for &(_, _, ns) in &service {
+                hists.record("reduce.service_ns", ns);
+            }
+            tel.merge_hists(&hists);
+            let cfg = tel.config();
+            let stragglers =
+                detect_stragglers(&service, cfg.straggler_fraction, cfg.min_straggler_reducers);
+            if !stragglers.is_empty() {
+                // Execution-shape by classification: rates depend on wall
+                // time, so the counter only exists when telemetry is on.
+                counters.inc("telemetry.stragglers", stragglers.len() as u64);
+            }
+            tel.note_stragglers(job_name, &stragglers);
         }
         if let Some(t) = tracer {
             // Per-reducer spans in bucket (key) order, then worker stints in
@@ -1424,7 +1566,7 @@ mod tests {
         // One key, 8-byte values, budget 32: a run flushes after every 5th
         // value (40 > 32), so 12 values make 2 full runs + a 2-value tail.
         let run: SortedRun<u64> = (0..12u64).map(|v| (0, v)).collect();
-        let mut store = SpillStore::new(32, None);
+        let mut store = SpillStore::new(32, None, None);
         let (buckets, stats) = merge_sorted_runs_budgeted(vec![run], &mut store).unwrap();
         assert_eq!(stats.pairs, 12);
         assert_eq!(buckets.len(), 1);

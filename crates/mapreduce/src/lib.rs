@@ -62,6 +62,7 @@ pub mod job;
 pub mod metrics;
 pub mod record;
 pub mod spill;
+pub mod telemetry;
 pub mod trace;
 
 pub use chain::JobChain;
@@ -76,4 +77,8 @@ pub use job::{
 pub use metrics::{is_execution_shape, Counters, JobMetrics, ReducerLoad, SkewReport};
 pub use record::Record;
 pub use spill::{SpillStats, SpilledBucket};
+pub use telemetry::{
+    Clock, FlightRecorder, Histogram, HistogramRegistry, MonotonicClock, Straggler, Telemetry,
+    TelemetryConfig, TelemetryEvent, TelemetrySnapshot, VirtualClock,
+};
 pub use trace::{SpanKind, TraceEvent, Tracer};

@@ -11,6 +11,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+#[cfg(test)]
+thread_local! {
+    /// Counts key-`String` allocations made by [`Counters::inc`] misses —
+    /// lets the micro-test below pin that the hit path allocates nothing.
+    static KEY_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Hadoop-style user-defined counters: named `u64` totals incremented by
 /// mappers (via [`crate::Emitter::inc`]) and reducers (via
 /// [`crate::ReduceCtx::inc`]), merged across workers by the engine.
@@ -30,12 +37,16 @@ impl Counters {
         Counters::default()
     }
 
-    /// Adds `delta` to the counter `name` (creating it at 0 first).
+    /// Adds `delta` to the counter `name` (creating it at 0 first). The
+    /// hit path is a single lookup with no key allocation; only the first
+    /// increment of a name allocates its `String`.
     #[inline]
     pub fn inc(&mut self, name: &str, delta: u64) {
         if let Some(v) = self.totals.get_mut(name) {
             *v += delta;
         } else {
+            #[cfg(test)]
+            KEY_ALLOCS.with(|c| c.set(c.get() + 1));
             self.totals.insert(name.to_string(), delta);
         }
     }
@@ -201,7 +212,9 @@ impl JobMetrics {
 /// names; every data-plane counter must stay byte-identical across thread
 /// counts *and* budgets.
 pub fn is_execution_shape(name: &str) -> bool {
-    name == "kernel.parallel_buckets" || name.starts_with("spill.")
+    name == "kernel.parallel_buckets"
+        || name.starts_with("spill.")
+        || name.starts_with("telemetry.")
 }
 
 /// Per-reducer load-skew diagnosis for one job: the distribution of
@@ -480,7 +493,53 @@ mod tests {
         assert!(is_execution_shape("spill.buckets"));
         assert!(is_execution_shape("spill.runs"));
         assert!(is_execution_shape("spill.bytes"));
+        assert!(is_execution_shape("telemetry.stragglers"));
         assert!(!is_execution_shape("kernel.candidates"));
         assert!(!is_execution_shape("replicas"));
+    }
+
+    #[test]
+    fn counter_inc_hit_path_does_not_allocate_keys() {
+        let mut c = Counters::new();
+        let before = KEY_ALLOCS.with(std::cell::Cell::get);
+        c.inc("hot.counter", 1);
+        for _ in 0..1000 {
+            c.inc("hot.counter", 1);
+        }
+        let allocs = KEY_ALLOCS.with(std::cell::Cell::get) - before;
+        assert_eq!(allocs, 1, "only the first inc of a name allocates");
+        assert_eq!(c.get("hot.counter"), 1001);
+        // A second distinct name costs exactly one more allocation.
+        c.inc("other", 5);
+        c.inc("other", 5);
+        let allocs = KEY_ALLOCS.with(std::cell::Cell::get) - before;
+        assert_eq!(allocs, 2);
+    }
+
+    #[test]
+    fn skew_report_single_reducer() {
+        let r = metrics_with_loads(&[42]).skew_report(3);
+        assert_eq!(r.reducers, 1);
+        assert_eq!(r.max, 42);
+        assert_eq!(r.max_mean_ratio, 1.0);
+        assert_eq!(r.p50, 42);
+        assert_eq!(r.p99, 42);
+        assert_eq!(r.p99_p50_ratio, 1.0);
+        assert_eq!(r.gini, 0.0, "one reducer cannot be skewed");
+        assert_eq!(r.top, vec![(0, 42)]);
+    }
+
+    #[test]
+    fn skew_report_all_equal_loads() {
+        let r = metrics_with_loads(&[7, 7, 7, 7, 7, 7, 7, 7]).skew_report(2);
+        assert_eq!(r.p50, r.p99, "equal loads: p50 == p99");
+        assert_eq!(r.p99_p50_ratio, 1.0);
+        assert_eq!(r.max_mean_ratio, 1.0);
+        assert!(
+            r.gini.abs() < 1e-12,
+            "gini must be exactly ~0, got {}",
+            r.gini
+        );
+        assert_eq!(r.mean, 7.0);
     }
 }

@@ -27,6 +27,7 @@
 use crate::dfs::{Dfs, DfsError};
 use crate::job::ReducerId;
 use crate::record::Record;
+use crate::telemetry::Telemetry;
 use crate::trace::{SpanKind, TraceEvent, Tracer};
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -69,11 +70,16 @@ pub(crate) struct SpillStore<'t> {
     stats: SpillStats,
     write_nanos: u64,
     tracer: Option<&'t Tracer>,
+    telemetry: Option<&'t Telemetry>,
 }
 
 impl<'t> SpillStore<'t> {
     /// A store enforcing `budget` approx-bytes per bucket buffer.
-    pub(crate) fn new(budget: u64, tracer: Option<&'t Tracer>) -> Self {
+    pub(crate) fn new(
+        budget: u64,
+        tracer: Option<&'t Tracer>,
+        telemetry: Option<&'t Telemetry>,
+    ) -> Self {
         SpillStore {
             dfs: Arc::new(Dfs::new()),
             budget,
@@ -81,6 +87,7 @@ impl<'t> SpillStore<'t> {
             stats: SpillStats::default(),
             write_nanos: 0,
             tracer,
+            telemetry,
         }
     }
 
@@ -112,6 +119,9 @@ impl<'t> SpillStore<'t> {
         self.stats.runs += 1;
         self.stats.bytes += bytes;
         self.write_nanos += t0.elapsed().as_nanos() as u64;
+        if let Some(tel) = self.telemetry {
+            tel.spill_run(key, bytes);
+        }
         if let Some(t) = self.tracer {
             t.record(
                 TraceEvent::span(SpanKind::Spill, "spill-run", key, span_t0, t.now_us())
@@ -274,7 +284,7 @@ mod tests {
     use super::*;
 
     fn store() -> SpillStore<'static> {
-        SpillStore::new(64, None)
+        SpillStore::new(64, None, None)
     }
 
     #[test]

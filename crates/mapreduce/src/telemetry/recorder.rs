@@ -1,0 +1,382 @@
+//! The flight recorder: a bounded ring of recent telemetry events.
+//!
+//! While a job runs, the engine pushes phase boundaries, heartbeats,
+//! spill runs and straggler verdicts here. The buffer is bounded
+//! (drop-oldest), so it costs O(capacity) memory no matter how long the
+//! engine lives — and when a job dies with an [`crate::EngineError`], the
+//! recorder's contents are dumped as JSONL: the last N things the engine
+//! did before the failure, for post-mortem forensics.
+
+use crate::job::ReducerId;
+use crate::trace::write_json_string;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One telemetry event, as the flight recorder stores it. Every variant
+/// carries `t_ns`, the [`crate::telemetry::Clock`] timestamp at emission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// A job entered the engine.
+    JobStart {
+        /// Job name.
+        job: String,
+        /// Input records the map phase will read.
+        records: u64,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// A phase (map / shuffle / reduce) completed.
+    PhaseEnd {
+        /// Job name.
+        job: String,
+        /// Phase name.
+        phase: &'static str,
+        /// Items the phase processed (records, pairs or outputs).
+        items: u64,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// A worker reported liveness after N more processed values.
+    Heartbeat {
+        /// Job name.
+        job: String,
+        /// `"map"` or `"reduce"`.
+        scope: &'static str,
+        /// Task index (map) or reducer key (reduce).
+        id: u64,
+        /// Values the task has processed so far.
+        processed: u64,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// A spill run was written on the budgeted shuffle path.
+    SpillRun {
+        /// The bucket that overflowed.
+        reducer: ReducerId,
+        /// Approx bytes in the run.
+        bytes: u64,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// The straggler detector flagged a reducer.
+    Straggler {
+        /// Job name.
+        job: String,
+        /// The flagged reducer.
+        reducer: ReducerId,
+        /// Pairs the reducer received.
+        pairs: u64,
+        /// Its service time in clock nanoseconds.
+        service_ns: u64,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// A job completed successfully.
+    JobEnd {
+        /// Job name.
+        job: String,
+        /// Output records the job produced.
+        outputs: u64,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+    /// A job failed with an [`crate::EngineError`].
+    Error {
+        /// Job name.
+        job: String,
+        /// The error's display string.
+        detail: String,
+        /// Clock timestamp (ns).
+        t_ns: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's kind tag as it appears in the JSONL dump.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::JobStart { .. } => "job_start",
+            TelemetryEvent::PhaseEnd { .. } => "phase_end",
+            TelemetryEvent::Heartbeat { .. } => "heartbeat",
+            TelemetryEvent::SpillRun { .. } => "spill_run",
+            TelemetryEvent::Straggler { .. } => "straggler",
+            TelemetryEvent::JobEnd { .. } => "job_end",
+            TelemetryEvent::Error { .. } => "error",
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline).
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"event\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            TelemetryEvent::JobStart { job, records, t_ns } => {
+                out.push_str(",\"job\":");
+                write_json_string(out, job);
+                let _ = write!(out, ",\"records\":{records},\"t_ns\":{t_ns}");
+            }
+            TelemetryEvent::PhaseEnd {
+                job,
+                phase,
+                items,
+                t_ns,
+            } => {
+                out.push_str(",\"job\":");
+                write_json_string(out, job);
+                let _ = write!(
+                    out,
+                    ",\"phase\":\"{phase}\",\"items\":{items},\"t_ns\":{t_ns}"
+                );
+            }
+            TelemetryEvent::Heartbeat {
+                job,
+                scope,
+                id,
+                processed,
+                t_ns,
+            } => {
+                out.push_str(",\"job\":");
+                write_json_string(out, job);
+                let _ = write!(
+                    out,
+                    ",\"scope\":\"{scope}\",\"id\":{id},\"processed\":{processed},\"t_ns\":{t_ns}"
+                );
+            }
+            TelemetryEvent::SpillRun {
+                reducer,
+                bytes,
+                t_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"reducer\":{reducer},\"bytes\":{bytes},\"t_ns\":{t_ns}"
+                );
+            }
+            TelemetryEvent::Straggler {
+                job,
+                reducer,
+                pairs,
+                service_ns,
+                t_ns,
+            } => {
+                out.push_str(",\"job\":");
+                write_json_string(out, job);
+                let _ = write!(
+                    out,
+                    ",\"reducer\":{reducer},\"pairs\":{pairs},\"service_ns\":{service_ns},\"t_ns\":{t_ns}"
+                );
+            }
+            TelemetryEvent::JobEnd { job, outputs, t_ns } => {
+                out.push_str(",\"job\":");
+                write_json_string(out, job);
+                let _ = write!(out, ",\"outputs\":{outputs},\"t_ns\":{t_ns}");
+            }
+            TelemetryEvent::Error { job, detail, t_ns } => {
+                out.push_str(",\"job\":");
+                write_json_string(out, job);
+                out.push_str(",\"detail\":");
+                write_json_string(out, detail);
+                let _ = write!(out, ",\"t_ns\":{t_ns}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Bounded drop-oldest ring buffer of [`TelemetryEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: Mutex<VecDeque<TelemetryEvent>>,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` (≥ 1) recent events.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: TelemetryEvent) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted so far to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetryEvent> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// The retained events as JSONL (one object per line, oldest first) —
+    /// the dump format [`crate::EngineError`] paths write for forensics.
+    pub fn jsonl(&self) -> String {
+        let buf = self.buf.lock();
+        let mut out = String::with_capacity(buf.len() * 96);
+        for ev in buf.iter() {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(n: u64) -> TelemetryEvent {
+        TelemetryEvent::Heartbeat {
+            job: "j".into(),
+            scope: "reduce",
+            id: 0,
+            processed: n,
+            t_ns: n,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_evictions() {
+        let r = FlightRecorder::new(3);
+        assert_eq!(r.capacity(), 3);
+        for n in 0..5 {
+            r.push(hb(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r
+            .snapshot()
+            .iter()
+            .map(|e| match e {
+                TelemetryEvent::Heartbeat { processed, .. } => *processed,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let r = FlightRecorder::new(0);
+        r.push(hb(1));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_has_one_tagged_object_per_line() {
+        let r = FlightRecorder::new(8);
+        r.push(TelemetryEvent::JobStart {
+            job: "q\"1".into(),
+            records: 10,
+            t_ns: 0,
+        });
+        r.push(TelemetryEvent::SpillRun {
+            reducer: 3,
+            bytes: 512,
+            t_ns: 5,
+        });
+        r.push(TelemetryEvent::Error {
+            job: "q\"1".into(),
+            detail: "boom\nline2".into(),
+            t_ns: 9,
+        });
+        let dump = r.jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"job_start\""));
+        assert!(lines[0].contains(r#""job":"q\"1""#), "{}", lines[0]);
+        assert!(lines[1].contains("\"reducer\":3"));
+        assert!(
+            lines[2].contains(r#""detail":"boom\nline2""#),
+            "{}",
+            lines[2]
+        );
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+    }
+
+    #[test]
+    fn every_variant_serializes_with_its_kind() {
+        let events = [
+            TelemetryEvent::JobStart {
+                job: "j".into(),
+                records: 1,
+                t_ns: 0,
+            },
+            TelemetryEvent::PhaseEnd {
+                job: "j".into(),
+                phase: "map",
+                items: 2,
+                t_ns: 1,
+            },
+            hb(3),
+            TelemetryEvent::SpillRun {
+                reducer: 0,
+                bytes: 4,
+                t_ns: 2,
+            },
+            TelemetryEvent::Straggler {
+                job: "j".into(),
+                reducer: 1,
+                pairs: 5,
+                service_ns: 6,
+                t_ns: 3,
+            },
+            TelemetryEvent::JobEnd {
+                job: "j".into(),
+                outputs: 7,
+                t_ns: 4,
+            },
+            TelemetryEvent::Error {
+                job: "j".into(),
+                detail: "d".into(),
+                t_ns: 5,
+            },
+        ];
+        let r = FlightRecorder::new(events.len());
+        for e in &events {
+            r.push(e.clone());
+        }
+        let dump = r.jsonl();
+        for e in &events {
+            assert!(
+                dump.contains(&format!("\"event\":\"{}\"", e.kind())),
+                "missing {} in {dump}",
+                e.kind()
+            );
+        }
+    }
+}

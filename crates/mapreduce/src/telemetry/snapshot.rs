@@ -1,0 +1,236 @@
+//! Point-in-time telemetry snapshots and Prometheus text exposition.
+//!
+//! A [`TelemetrySnapshot`] is a plain, sorted value type: scalar series
+//! (gauges and counters) plus named histograms. Rendering is fully
+//! deterministic — `BTreeMap` iteration order plus fixed histogram bucket
+//! bounds — so two equal snapshots always produce byte-identical
+//! Prometheus text. The determinism *audit* compares the
+//! [`TelemetrySnapshot::data_plane`] projection, which strips
+//! execution-shape series (anything timing-, chunking- or spill-layout-
+//! dependent) the same way [`crate::is_execution_shape`] strips counters.
+
+use super::hist::{bucket_upper_bound, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// True for telemetry series whose value legitimately depends on *how*
+/// the job executed (thread count, chunking, memory budget, wall clock)
+/// rather than on *what* it computed. These are excluded from the
+/// cross-thread-count determinism contract, mirroring
+/// [`crate::is_execution_shape`] for counters.
+pub fn is_execution_shape_series(name: &str) -> bool {
+    name.starts_with("spill.")
+        || name.starts_with("map.task")
+        || name.ends_with("_ns")
+        || name == "telemetry.stragglers"
+        || name == "telemetry.heartbeats.map"
+        || name == "progress.map_tasks"
+}
+
+/// A point-in-time copy of everything the telemetry plane has recorded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Scalar series (progress gauges, heartbeat/straggler counters),
+    /// keyed by dotted series name.
+    pub series: BTreeMap<String, u64>,
+    /// Named log2 histograms (service times, bucket sizes, run bytes).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Maps a dotted series name onto a Prometheus metric name:
+/// `ij_` prefix, non-alphanumeric bytes become `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("ij_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl TelemetrySnapshot {
+    /// The snapshot restricted to data-plane series: everything
+    /// execution-shape (see [`is_execution_shape_series`]) removed. Two
+    /// runs of the same job must produce byte-identical
+    /// [`TelemetrySnapshot::to_prometheus`] output for this projection
+    /// regardless of `worker_threads` or memory budget.
+    pub fn data_plane(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            series: self
+                .series
+                .iter()
+                .filter(|(k, _)| !is_execution_shape_series(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| !is_execution_shape_series(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// a `# TYPE` line per metric, `progress.*` series as gauges, other
+    /// series as counters, histograms with cumulative `_bucket{le=...}`
+    /// samples plus `_sum` and `_count`. Output is byte-deterministic for
+    /// equal snapshots (sorted iteration, fixed bucket bounds).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.series.len() + self.histograms.len()));
+        for (name, value) in &self.series {
+            let pname = prometheus_name(name);
+            let kind = if name.starts_with("progress.") {
+                "gauge"
+            } else {
+                "counter"
+            };
+            let _ = writeln!(out, "# TYPE {pname} {kind}");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname} histogram");
+            let mut cumulative = 0u64;
+            let top = hist.highest_bucket().map_or(0, |i| i + 1);
+            for (i, count) in hist.bucket_counts().iter().enumerate().take(top) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count());
+            let _ = writeln!(out, "{pname}_sum {}", hist.sum());
+            let _ = writeln!(out, "{pname}_count {}", hist.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::default();
+        s.series.insert("progress.jobs_started".into(), 2);
+        s.series.insert("telemetry.heartbeats.reduce".into(), 5);
+        s.series.insert("telemetry.stragglers".into(), 1);
+        s.series.insert("telemetry.heartbeats.map".into(), 3);
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 900] {
+            h.record(v);
+        }
+        s.histograms.insert("reduce.bucket_pairs".into(), h);
+        s.histograms.insert("reduce.service_ns".into(), {
+            let mut h = Histogram::new();
+            h.record(42);
+            h
+        });
+        s
+    }
+
+    #[test]
+    fn execution_shape_series_classification() {
+        for name in [
+            "spill.run_bytes",
+            "map.task_records",
+            "reduce.service_ns",
+            "telemetry.stragglers",
+            "telemetry.heartbeats.map",
+            "progress.map_tasks",
+        ] {
+            assert!(is_execution_shape_series(name), "{name}");
+        }
+        for name in [
+            "progress.jobs_started",
+            "progress.reduce_values",
+            "telemetry.heartbeats.reduce",
+            "reduce.bucket_pairs",
+            "shuffle.job_bytes",
+        ] {
+            assert!(!is_execution_shape_series(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn data_plane_strips_execution_shape() {
+        let d = snap().data_plane();
+        assert!(d.series.contains_key("progress.jobs_started"));
+        assert!(d.series.contains_key("telemetry.heartbeats.reduce"));
+        assert!(!d.series.contains_key("telemetry.stragglers"));
+        assert!(!d.series.contains_key("telemetry.heartbeats.map"));
+        assert!(d.histograms.contains_key("reduce.bucket_pairs"));
+        assert!(!d.histograms.contains_key("reduce.service_ns"));
+    }
+
+    #[test]
+    fn prometheus_output_has_types_and_cumulative_buckets() {
+        let text = snap().to_prometheus();
+        assert!(text.contains("# TYPE ij_progress_jobs_started gauge"));
+        assert!(text.contains("ij_progress_jobs_started 2"));
+        assert!(text.contains("# TYPE ij_telemetry_stragglers counter"));
+        assert!(text.contains("# TYPE ij_reduce_bucket_pairs histogram"));
+        // Samples 1,2,2,900: bucket le="1" -> 1, le="3" -> 3, ..., le="1023" -> 4.
+        assert!(
+            text.contains("ij_reduce_bucket_pairs_bucket{le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ij_reduce_bucket_pairs_bucket{le=\"3\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ij_reduce_bucket_pairs_bucket{le=\"1023\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("ij_reduce_bucket_pairs_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("ij_reduce_bucket_pairs_sum 905"));
+        assert!(text.contains("ij_reduce_bucket_pairs_count 4"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("ij_reduce_bucket_pairs_bucket{le=\"") {
+                if rest.starts_with('+') {
+                    continue;
+                }
+                let v: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(v >= last, "{line}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_samples() {
+        let mut s = TelemetrySnapshot::default();
+        s.histograms
+            .insert("spill.run_bytes".into(), Histogram::new());
+        let text = s.to_prometheus();
+        assert!(text.contains("ij_spill_run_bytes_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("ij_spill_run_bytes_sum 0"));
+        assert!(text.contains("ij_spill_run_bytes_count 0"));
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        assert_eq!(snap().to_prometheus(), snap().to_prometheus());
+        assert_eq!(
+            snap().data_plane().to_prometheus(),
+            snap().data_plane().to_prometheus()
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut s = TelemetrySnapshot::default();
+        s.series.insert("a.b-c/d".into(), 1);
+        assert!(s.to_prometheus().contains("ij_a_b_c_d 1"));
+    }
+}

@@ -228,7 +228,8 @@ fn write_event_json(out: &mut String, ev: &TraceEvent) {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn write_json_string(out: &mut String, s: &str) {
+/// Shared with the telemetry flight recorder's JSONL dump.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {

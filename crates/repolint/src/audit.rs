@@ -28,8 +28,12 @@ use ij_core::two_way::TwoWayJoin;
 use ij_core::{Algorithm, JoinInput};
 use ij_interval::AllenPredicate::{Before, Overlaps};
 use ij_interval::{Interval, Relation};
-use ij_mapreduce::{is_execution_shape, ClusterConfig, CostModel, Dfs, Engine};
+use ij_mapreduce::{
+    is_execution_shape, ClusterConfig, CostModel, Dfs, Engine, Telemetry, TelemetryConfig,
+    VirtualClock,
+};
 use ij_query::JoinQuery;
+use std::sync::Arc;
 
 /// Thread counts every algorithm family is audited under.
 pub const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -179,7 +183,19 @@ fn snapshot(
     threads: usize,
     budget: Option<u64>,
 ) -> Result<(Vec<u8>, u64, u64), String> {
-    let engine = engine_with_threads(threads, budget);
+    // A virtual clock keeps telemetry timestamps at zero, and a small
+    // heartbeat quantum makes reduce-side heartbeats actually fire at
+    // audit scale — the data-plane telemetry snapshot joins the byte-diff
+    // below, so heartbeat/gauge/histogram drift across thread counts or
+    // budgets fails the audit exactly like output drift.
+    let telemetry = Arc::new(Telemetry::with_clock(
+        TelemetryConfig {
+            heartbeat_every: 8,
+            ..TelemetryConfig::default()
+        },
+        Arc::new(VirtualClock::new()),
+    ));
+    let engine = engine_with_threads(threads, budget).with_telemetry(Arc::clone(&telemetry));
     let out = algo
         .run(q, input, &engine)
         .map_err(|e| format!("{} failed under {threads} threads: {e}", algo.name()))?;
@@ -201,6 +217,9 @@ fn snapshot(
             continue;
         }
         lines.push(format!("counter {k}={v}"));
+    }
+    for line in telemetry.snapshot().data_plane().to_prometheus().lines() {
+        lines.push(format!("telemetry {line}"));
     }
     let dfs = Dfs::new();
     let path = format!("audit/{}", algo.name());
@@ -274,6 +293,32 @@ mod tests {
             (0..5).map(|_| r.next()).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn audit_snapshots_embed_data_plane_telemetry() {
+        let (algo, q) = suite().remove(0);
+        let input = workload(&q, 0x5eed + q.num_relations() as u64, 40);
+        let (bytes, _, _) = snapshot(algo.as_ref(), &q, &input, 1, None).expect("snapshot");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert!(
+            text.contains("telemetry # TYPE ij_progress_jobs_started gauge"),
+            "telemetry lines missing from audit snapshot"
+        );
+        assert!(text.contains("telemetry # TYPE ij_reduce_bucket_pairs histogram"));
+        let heartbeats = text
+            .lines()
+            .find_map(|l| l.strip_prefix("telemetry ij_telemetry_heartbeats_reduce "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("reduce heartbeat series present");
+        assert!(
+            heartbeats > 0,
+            "heartbeat quantum of 8 never fired:\n{text}"
+        );
+        // Execution-shape telemetry must NOT be in the byte-diffed bytes.
+        assert!(!text.contains("ij_telemetry_stragglers"));
+        assert!(!text.contains("ij_reduce_service_ns"));
+        assert!(!text.contains("ij_spill_run_bytes"));
     }
 
     #[test]

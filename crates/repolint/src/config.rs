@@ -68,8 +68,11 @@ pub fn in_unordered_iter_scope(path: &str) -> bool {
 }
 
 /// R2 scope: every crate source file except the explicit allowlist —
-/// the tracer (wall-clock is its purpose), the bench harness, and the
-/// datagen crate (seeded generators; timing only feeds reports).
+/// the tracer (wall-clock is its purpose), the bench harness, the
+/// datagen crate (seeded generators; timing only feeds reports), and the
+/// telemetry clock module — the *single* file where the telemetry plane
+/// may touch `Instant`; the rest of `telemetry/` must go through the
+/// injectable `Clock` trait and so stays in scope.
 pub fn in_wall_clock_scope(path: &str) -> bool {
     let p = norm(path);
     if !p.contains("crates/") || !p.contains("/src/") {
@@ -77,17 +80,21 @@ pub fn in_wall_clock_scope(path: &str) -> bool {
     }
     let allowlisted = p.contains("crates/bench/")
         || p.contains("crates/datagen/")
-        || p.ends_with("crates/mapreduce/src/trace.rs");
+        || p.ends_with("crates/mapreduce/src/trace.rs")
+        || p.ends_with("crates/mapreduce/src/telemetry/clock.rs");
     !allowlisted
 }
 
-/// R3 scope: the engine's reduce/shuffle hot paths.
+/// R3 scope: the engine's reduce/shuffle hot paths, plus the whole live
+/// telemetry plane (it runs inside those hot paths, so a panic there is a
+/// panic in the engine).
 pub fn in_no_panic_scope(path: &str) -> bool {
     let p = norm(path);
     p.ends_with("crates/mapreduce/src/engine.rs")
         || p.ends_with("crates/mapreduce/src/dfs.rs")
         || p.ends_with("crates/mapreduce/src/job.rs")
         || p.ends_with("crates/mapreduce/src/spill.rs")
+        || p.contains("crates/mapreduce/src/telemetry/")
 }
 
 /// R4 scope: the predicate-specialized kernel layer.
@@ -122,9 +129,23 @@ mod tests {
         assert!(!in_wall_clock_scope("crates/mapreduce/src/trace.rs"));
         assert!(!in_wall_clock_scope("crates/bench/src/scenarios.rs"));
         assert!(!in_wall_clock_scope("crates/datagen/src/lib.rs"));
+        assert!(!in_wall_clock_scope(
+            "crates/mapreduce/src/telemetry/clock.rs"
+        ));
+        assert!(
+            in_wall_clock_scope("crates/mapreduce/src/telemetry/mod.rs"),
+            "only clock.rs is allowlisted; the rest of telemetry/ must use Clock"
+        );
+        assert!(in_wall_clock_scope(
+            "crates/mapreduce/src/telemetry/hist.rs"
+        ));
 
         assert!(in_no_panic_scope("crates/mapreduce/src/engine.rs"));
         assert!(in_no_panic_scope("crates/mapreduce/src/spill.rs"));
+        assert!(in_no_panic_scope("crates/mapreduce/src/telemetry/mod.rs"));
+        assert!(in_no_panic_scope(
+            "crates/mapreduce/src/telemetry/recorder.rs"
+        ));
         assert!(!in_no_panic_scope("crates/mapreduce/src/metrics.rs"));
 
         assert!(in_wall_clock_scope("crates/mapreduce/src/spill.rs"));

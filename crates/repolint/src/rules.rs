@@ -606,6 +606,37 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_wall_clock_is_allowed_only_in_clock_rs() {
+        // The injectable-Clock contract: `Instant` is legal in the one
+        // allowlisted clock module and nowhere else in telemetry/.
+        let timed = "use std::time::Instant;\nfn now() {}\n";
+        assert!(check_file("crates/mapreduce/src/telemetry/clock.rs", timed).is_empty());
+        let v = check_file("crates/mapreduce/src/telemetry/mod.rs", timed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, config::WALL_CLOCK);
+        let v = check_file("crates/mapreduce/src/telemetry/recorder.rs", timed);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn telemetry_modules_are_in_no_panic_scope() {
+        let panicky = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        for path in [
+            "crates/mapreduce/src/telemetry/mod.rs",
+            "crates/mapreduce/src/telemetry/hist.rs",
+            "crates/mapreduce/src/telemetry/recorder.rs",
+            "crates/mapreduce/src/telemetry/clock.rs",
+        ] {
+            let v = check_file(path, panicky);
+            assert_eq!(v.len(), 1, "{path}: {v:?}");
+            assert_eq!(v[0].rule, config::NO_PANIC, "{path}");
+        }
+        // Test modules inside telemetry stay exempt, like everywhere else.
+        let test_only = "#[cfg(test)]\nmod tests {\n fn t(x: Option<u32>) { x.unwrap(); }\n}\n";
+        assert!(check_file("crates/mapreduce/src/telemetry/hist.rs", test_only).is_empty());
+    }
+
+    #[test]
     fn pub_crate_fns_are_not_kernel_doc_targets() {
         let src = "pub(crate) fn helper(x: u32) -> u32 { x }\n";
         assert!(check_file("crates/core/src/kernel/mod.rs", src).is_empty());
