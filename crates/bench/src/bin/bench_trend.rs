@@ -245,6 +245,27 @@ mod tests {
         assert!((merge - 0.5).abs() < 1e-9, "{merge}");
     }
 
+    /// A whole group present only in the current summary — e.g.
+    /// `kernel_event_sweep` on the first run after the bench lands —
+    /// contributes no ratio and cannot fail the gate; existing groups are
+    /// still checked.
+    #[test]
+    fn new_group_missing_from_baseline_is_skipped() {
+        let base = parse_summary(BASE);
+        let cur = parse_summary(
+            "{\"id\":\"sweep/n1000\",\"mean_ns\":1000,\"iters\":10}\n\
+             {\"id\":\"kernel_event_sweep/event_sweep\",\"mean_ns\":4790000,\"iters\":42}\n\
+             {\"id\":\"kernel_event_sweep/dual_window_sweep\",\"mean_ns\":13650000,\"iters\":15}\n",
+        );
+        let r = group_ratios(&base, &cur);
+        assert!(
+            !r.contains_key("kernel_event_sweep"),
+            "unmatched group must not be gated: {r:?}"
+        );
+        let (sweep, n) = r["sweep"];
+        assert_eq!((n, sweep), (1, 1.0), "matched group still compared");
+    }
+
     #[test]
     fn malformed_lines_are_skipped() {
         let src = "not json at all\n\

@@ -191,7 +191,37 @@ pub enum AlgoFamily {
     },
 }
 
+/// Relative per-candidate reducer work of the kernel that
+/// [`crate::kernel::planned_kernel`] would select for `q`, normalized to
+/// the backtracking fallback at `1.0`.
+///
+/// The constants are calibrated from the `kernel` criterion benches
+/// (`kernel_strategies` / `kernel_event_sweep` groups): the pair sweep is
+/// output-linear, the event sweep touches each candidate once per merged
+/// event plus gapless-array scans, sort-merge pays one windowed merge pass,
+/// the dual-window scan filters the narrower of two windows, and
+/// backtracking re-checks every predicate per candidate. Planning code
+/// multiplies reducer-side work estimates by this factor so colocation
+/// reducers are no longer priced at backtracking cost — which previously
+/// made [`auto_tune`] over-partition sweep-friendly queries.
+pub fn kernel_work_multiplier(q: &JoinQuery) -> f64 {
+    use crate::kernel::KernelStrategy::*;
+    match crate::kernel::planned_kernel(q) {
+        // kernel_event_sweep measures the event sweep ~2.9× faster than
+        // the dual-window scan on an overlap-heavy clique (4.8ms vs
+        // 13.7ms vs 10.9ms backtracking), hence 0.12 ≈ 0.35 × (4.8/13.7).
+        PairSweep => 0.06,
+        EventSweep => 0.12,
+        SortMerge => 0.25,
+        DualWindow => 0.35,
+        Backtrack => 1.0,
+    }
+}
+
 /// Estimated intermediate key-value pairs for an algorithm family.
+///
+/// This prices *communication* only; reducer compute is priced separately
+/// via [`kernel_work_multiplier`].
 pub fn estimate_pairs(_q: &JoinQuery, stats: &[RelationStats], family: AlgoFamily) -> f64 {
     let total_n: f64 = stats.iter().map(|s| s.n as f64).sum();
     let span: f64 = stats.iter().map(RelationStats::span).fold(1.0f64, f64::max);
@@ -235,14 +265,19 @@ pub fn estimate_pairs(_q: &JoinQuery, stats: &[RelationStats], family: AlgoFamil
 
 /// Chooses partition counts so the number of reducers tracks the slot
 /// count: 1-D algorithms get one partition per slot; matrix algorithms get
-/// the smallest `o` whose *consistent* cell count reaches ~2× slots
-/// (enough parallelism without exploding the per-tuple fan-out).
+/// the smallest `o` whose *consistent* cell count reaches ~2× slots,
+/// scaled by [`kernel_work_multiplier`] — a bucket served by a cheap
+/// kernel (pair/event sweep, sort-merge) needs less over-partitioning to
+/// mask skew than one served by the backtracking fallback, so the cell
+/// target shrinks with the planned kernel's per-candidate cost (floored
+/// at half to keep every slot busy).
 pub fn auto_tune(q: &JoinQuery, slots: usize) -> PlanConfig {
     let comps = q.components();
     let dims = comps.len().max(1);
     let order = q.start_order();
     let constraints = order.component_constraints(&comps);
-    let target = (2 * slots.max(1)) as u64;
+    let mult = kernel_work_multiplier(q).max(0.5);
+    let target = (2.0 * slots.max(1) as f64 * mult).ceil() as u64;
     let mut per_dim = 2;
     for o in 2..=32usize {
         per_dim = o;
@@ -372,9 +407,36 @@ mod tests {
     }
 
     #[test]
+    fn kernel_multipliers_order_strategies_by_measured_cost() {
+        // Pinned ordering, calibrated from the kernel criterion benches:
+        // pair sweep < event sweep < sort-merge < dual-window < backtrack.
+        let pair = kernel_work_multiplier(&JoinQuery::chain(&[Overlaps]).unwrap());
+        let event = kernel_work_multiplier(
+            &JoinQuery::new(
+                3,
+                vec![
+                    ij_query::Condition::whole(0, Overlaps, 1),
+                    ij_query::Condition::whole(1, Contains, 2),
+                    ij_query::Condition::whole(0, Overlaps, 2),
+                ],
+            )
+            .unwrap(),
+        );
+        let merge = kernel_work_multiplier(&JoinQuery::chain(&[Before, Before]).unwrap());
+        let dual = kernel_work_multiplier(&JoinQuery::chain(&[Overlaps, Overlaps]).unwrap());
+        let back = kernel_work_multiplier(&JoinQuery::chain(&[Overlaps, Before]).unwrap());
+        assert!(pair < event, "pair sweep must price below event sweep");
+        assert!(event < merge, "event sweep must price below sort-merge");
+        assert!(merge < dual, "sort-merge must price below dual-window");
+        assert!(dual < back, "dual-window must price below backtracking");
+        assert_eq!(back, 1.0, "backtracking is the normalization point");
+    }
+
+    #[test]
     fn auto_tune_tracks_slots() {
-        // Pure sequence 3-way: consistent cells grow ~ o^3/6; for 16 slots
-        // the tuner should land around o = 6 (56 cells >= 32).
+        // Pure sequence 3-way: sort-merge multiplier 0.25 floors at 0.5,
+        // so the cell target is 16; consistent cells grow ~ o^3/6 and the
+        // tuner lands around o = 4-5 (C(o+2,3) >= 16).
         let q = JoinQuery::chain(&[Before, Before]).unwrap();
         let cfg = auto_tune(&q, 16);
         assert_eq!(cfg.partitions, 16);

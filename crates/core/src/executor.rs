@@ -7,12 +7,15 @@
 //! satisfy all query conditions, keep the ones it *owns* (the
 //! per-algorithm duplicate-elimination rule), and emit them.
 //!
-//! [`join_single_attr`] is the optimized path for single-attribute queries:
-//! candidates are kept sorted by start point, and each backtracking level
-//! binary-searches the window of start points compatible with the already
-//! bound neighbors (via [`ij_interval::AllenPredicate::right_start_bounds`]). The same
-//! routine, run over whole relations with an all-accepting owner filter, is
-//! the test oracle's engine.
+//! [`join_single_attr`] is the optimized path for single-attribute queries.
+//! It delegates to the dispatching kernel (`crate::kernel`), which picks a
+//! pair sweep, merged event-list sweep, dual-window plane sweep, sort-merge,
+//! or the windowed-backtracking fallback by query shape; the fallback —
+//! candidates sorted by start point, each backtracking level
+//! binary-searching the window of compatible start points (via
+//! [`ij_interval::AllenPredicate::right_start_bounds`]) — run over whole
+//! relations with an all-accepting owner filter, is the test oracle's
+//! engine.
 //!
 //! [`join_tuples`] is the general path for multi-attribute queries
 //! (Gen-Matrix): a scan-based backtracking join with incremental condition

@@ -9,6 +9,7 @@
 //! beat it on the pure predicate classes by replacing the `holds` re-check
 //! with exact endpoint ranges (see [`super::ranges`]).
 
+use super::scratch::with_scratch;
 use super::{Compiled, Emit};
 use crate::executor::{tighten_lower, tighten_upper, window, Candidates};
 use ij_interval::{Interval, TupleId};
@@ -25,13 +26,14 @@ pub(crate) fn run(
 ) {
     let rel0 = compiled.order[0];
     let list0 = cands.list(rel0);
-    let mut assignment: Vec<(Interval, TupleId)> =
-        vec![(Interval::point(0), 0); compiled.order.len()];
-    *work += outer.len() as u64;
-    for &(iv, tid) in &list0[outer] {
-        assignment[rel0] = (iv, tid);
-        descend(cands, compiled, 1, &mut assignment, emit, work);
-    }
+    with_scratch(|s| {
+        let assignment = s.reset_assignment(compiled.order.len());
+        *work += outer.len() as u64;
+        for &(iv, tid) in &list0[outer] {
+            assignment[rel0] = (iv, tid);
+            descend(cands, compiled, 1, assignment, emit, work);
+        }
+    });
 }
 
 fn descend(

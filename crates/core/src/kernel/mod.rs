@@ -7,11 +7,20 @@
 //!
 //! | Condition set | Kernel | Counter |
 //! |---|---|---|
-//! | colocation only | `sweep` (active-set / dual-window plane sweep) | `kernel.sweep_buckets` |
+//! | colocation, all pairs provably intersecting | `event_sweep` (merged event list, gapless active arrays) | `kernel.event_sweep_buckets` |
+//! | other colocation-only sets | `sweep` (active-set / dual-window plane sweep) | `kernel.sweep_buckets` |
 //! | sequence only | `sort_merge` (suffix/prefix merge) | `kernel.merge_buckets` |
 //! | mixed (hybrid) | `backtrack` (windowed backtracking) | `kernel.fallback_buckets` |
 //!
-//! All three are complete join executors for arbitrary single-attribute
+//! The event-list sweep is the multi-way generalization of the pair
+//! sweep: one pass over all relations' merged endpoints, emitting each
+//! binding at its latest-starting tuple's event. Completeness of that
+//! rule needs every relation pair of a satisfying assignment to
+//! intersect (1-D Helly), which `event_sweep::qualifies` proves
+//! statically — colocation cliques and containment-shaped chains route
+//! there, while e.g. pure *overlaps* chains (where the ends of a binding
+//! may not share a point) stay on the dual-window sweep. All kernels are
+//! complete join executors for arbitrary single-attribute
 //! Allen condition sets (they share the binding-order skeleton and differ
 //! only in the per-level scan strategy), so dispatch is purely a
 //! performance decision — property-tested to produce identical result
@@ -37,7 +46,9 @@
 //! index, never over the raw stream.
 
 mod backtrack;
+mod event_sweep;
 mod ranges;
+mod scratch;
 mod sort_merge;
 mod sweep;
 
@@ -60,6 +71,9 @@ pub(crate) type Emit<'a> = dyn FnMut(&[(Interval, TupleId)]) + 'a;
 pub enum KernelKind {
     /// Endpoint-sorted plane sweep (colocation condition sets).
     Sweep,
+    /// Merged-event-list sweep with gapless active arrays (colocation
+    /// sets whose relation pairs all provably intersect).
+    EventSweep,
     /// Sort-merge path (sequence condition sets).
     SortMerge,
     /// Windowed backtracking fallback (mixed Allen condition sets).
@@ -72,8 +86,57 @@ impl KernelKind {
     pub fn counter(self) -> &'static str {
         match self {
             KernelKind::Sweep => "kernel.sweep_buckets",
+            KernelKind::EventSweep => "kernel.event_sweep_buckets",
             KernelKind::SortMerge => "kernel.merge_buckets",
             KernelKind::Backtrack => "kernel.fallback_buckets",
+        }
+    }
+}
+
+/// The fine-grained scan strategy the dispatcher will use for a query —
+/// [`KernelKind`] plus the sweep kernel's internal pair/dual-window
+/// split. This is query-static (independent of bucket contents), so the
+/// cost model in `core::estimate` can price reducers per strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStrategy {
+    /// Two-relation active-set sweep with a retirement array.
+    PairSweep,
+    /// Merged-event-list sweep over gapless active arrays.
+    EventSweep,
+    /// Per-level adaptive dual-window scan.
+    DualWindow,
+    /// Suffix/prefix merge for sequence condition sets.
+    SortMerge,
+    /// Windowed backtracking with per-candidate `holds` re-checks.
+    Backtrack,
+}
+
+/// Whether the sweep kernel's two-relation fast path applies: a single
+/// condition whose predicate orients to an *overlaps*/*contains* shape.
+fn pair_sweep_eligible(q: &JoinQuery) -> bool {
+    use AllenPredicate::*;
+    q.num_relations() == 2
+        && q.conditions().len() == 1
+        && matches!(
+            q.conditions()[0].pred,
+            Overlaps | OverlappedBy | Contains | ContainedBy
+        )
+}
+
+/// The strategy [`execute`] will route `q`'s buckets to. Valid for any
+/// single-attribute query of any predicate class — the mapping depends
+/// only on the condition set.
+pub fn planned_kernel(q: &JoinQuery) -> KernelStrategy {
+    match choose(q) {
+        KernelKind::EventSweep => KernelStrategy::EventSweep,
+        KernelKind::SortMerge => KernelStrategy::SortMerge,
+        KernelKind::Backtrack => KernelStrategy::Backtrack,
+        KernelKind::Sweep => {
+            if pair_sweep_eligible(q) {
+                KernelStrategy::PairSweep
+            } else {
+                KernelStrategy::DualWindow
+            }
         }
     }
 }
@@ -87,6 +150,10 @@ pub struct KernelReport {
     pub work: u64,
     /// Outer chunks executed (1 = serial).
     pub parallel_chunks: usize,
+    /// Maximum total active-array occupancy the event sweep observed
+    /// (0 for the other kernels), chunk-invariant — the direct input for
+    /// skew-driven intra-reduce budgeting.
+    pub active_peak: u64,
 }
 
 /// Execution knobs for [`execute`]; reducers derive theirs from the
@@ -120,6 +187,12 @@ impl Default for KernelConfig {
 /// Routes a condition set to its kernel.
 fn choose(q: &JoinQuery) -> KernelKind {
     match q.class() {
+        // The pair fast path is the strongest specialization, so
+        // pair-eligible queries keep the classic sweep; other colocation
+        // sets take the event-list sweep when its completeness
+        // precondition (all relation pairs provably intersecting) holds.
+        QueryClass::Colocation if pair_sweep_eligible(q) => KernelKind::Sweep,
+        QueryClass::Colocation if event_sweep::qualifies(q) => KernelKind::EventSweep,
         QueryClass::Colocation => KernelKind::Sweep,
         QueryClass::Sequence => KernelKind::SortMerge,
         // Mixed colocation/sequence sets (and anything unclassified) fall
@@ -169,6 +242,7 @@ struct Prepared {
     kind: KernelKind,
     compiled: Compiled,
     sweep: Option<sweep::SweepPlan>,
+    event: Option<event_sweep::EventSweepPlan>,
     outer_len: usize,
     total: usize,
 }
@@ -184,15 +258,19 @@ fn prepare(q: &JoinQuery, cands: &Candidates, kind: KernelKind) -> Option<Prepar
     let m = q.num_relations() as usize;
     let compiled = Compiled::new(q, |r| cands.len(r));
     let sweep = (kind == KernelKind::Sweep).then(|| sweep::SweepPlan::new(q, cands, &compiled));
-    let outer_len = match &sweep {
-        Some(p) => p.outer_len(cands, &compiled),
-        None => cands.len(compiled.order[0]),
+    let event =
+        (kind == KernelKind::EventSweep).then(|| event_sweep::EventSweepPlan::new(q, cands));
+    let outer_len = match (&sweep, &event) {
+        (Some(p), _) => p.outer_len(cands, &compiled),
+        (_, Some(p)) => p.outer_len(),
+        _ => cands.len(compiled.order[0]),
     };
     let total = (0..m).map(|r| cands.len(r)).sum();
     Some(Prepared {
         kind,
         compiled,
         sweep,
+        event,
         outer_len,
         total,
     })
@@ -204,6 +282,7 @@ fn run_range(
     outer: Range<usize>,
     emit: &mut Emit<'_>,
     work: &mut u64,
+    active_peak: &mut u64,
 ) {
     match prep.kind {
         KernelKind::Backtrack => backtrack::run(cands, &prep.compiled, outer, emit, work),
@@ -214,6 +293,13 @@ fn run_range(
             outer,
             emit,
             work,
+        ),
+        KernelKind::EventSweep => prep.event.as_ref().expect("event sweep plan prepared").run(
+            cands,
+            outer,
+            emit,
+            work,
+            active_peak,
         ),
     }
 }
@@ -237,9 +323,11 @@ pub fn execute_serial(
             kind,
             work: 0,
             parallel_chunks: 1,
+            active_peak: 0,
         };
     };
     let mut work = 0u64;
+    let mut active_peak = 0u64;
     run_range(
         &prep,
         cands,
@@ -250,11 +338,13 @@ pub fn execute_serial(
             }
         },
         &mut work,
+        &mut active_peak,
     );
     KernelReport {
         kind,
         work,
         parallel_chunks: 1,
+        active_peak,
     }
 }
 
@@ -285,6 +375,7 @@ where
             kind,
             work: 0,
             parallel_chunks: 1,
+            active_peak: 0,
         };
     };
     let threads = if prep.total >= cfg.parallel_threshold {
@@ -294,6 +385,7 @@ where
     };
     if threads <= 1 {
         let mut work = 0u64;
+        let mut active_peak = 0u64;
         run_range(
             &prep,
             cands,
@@ -304,11 +396,13 @@ where
                 }
             },
             &mut work,
+            &mut active_peak,
         );
         return KernelReport {
             kind,
             work,
             parallel_chunks: 1,
+            active_peak,
         };
     }
 
@@ -320,7 +414,9 @@ where
     let m = prep.compiled.order.len();
     let prep_ref = &prep;
     let accept_ref = &accept;
-    let mut chunk_results: Vec<(u64, Vec<(Interval, TupleId)>)> = Vec::with_capacity(ranges.len());
+    // Per chunk: (work units, active peak, buffered accepted rows).
+    type ChunkResult = (u64, u64, Vec<(Interval, TupleId)>);
+    let mut chunk_results: Vec<ChunkResult> = Vec::with_capacity(ranges.len());
     let mut panic_payload: Option<Box<dyn Any + Send>> = None;
     crossbeam::scope(|scope| {
         let handles: Vec<_> = ranges
@@ -329,6 +425,7 @@ where
             .map(|r| {
                 scope.spawn(move |_| {
                     let mut work = 0u64;
+                    let mut peak = 0u64;
                     let mut buf: Vec<(Interval, TupleId)> = Vec::new();
                     run_range(
                         prep_ref,
@@ -340,8 +437,9 @@ where
                             }
                         },
                         &mut work,
+                        &mut peak,
                     );
-                    (work, buf)
+                    (work, peak, buf)
                 })
             })
             .collect();
@@ -361,8 +459,12 @@ where
 
     let parallel_chunks = chunk_results.len();
     let mut work = 0u64;
-    for (w, buf) in &chunk_results {
+    // Per-chunk peaks are maxima of the same per-event occupancy series
+    // the serial run observes, so their maximum is chunk-invariant.
+    let mut active_peak = 0u64;
+    for (w, peak, buf) in &chunk_results {
         work += w;
+        active_peak = active_peak.max(*peak);
         for a in buf.chunks_exact(m) {
             on_output(a);
         }
@@ -371,6 +473,7 @@ where
         kind,
         work,
         parallel_chunks,
+        active_peak,
     }
 }
 
@@ -401,6 +504,13 @@ where
     if rep.parallel_chunks > 1 {
         ctx.inc("kernel.parallel_buckets", 1);
     }
+    if rep.active_peak > 0 {
+        // Execution-shape counter (see `ij_mapreduce::is_execution_shape`):
+        // the event sweep's peak concurrent-interval count, the signal the
+        // skew-driven thread budget consumes. The engine also records the
+        // per-bucket values into the `kernel.active_peak` histogram.
+        ctx.inc("kernel.active_peak", rep.active_peak);
+    }
     rep
 }
 
@@ -415,6 +525,7 @@ fn run_forced(
         return 0;
     };
     let mut work = 0u64;
+    let mut active_peak = 0u64;
     run_range(
         &prep,
         cands,
@@ -425,6 +536,7 @@ fn run_forced(
             }
         },
         &mut work,
+        &mut active_peak,
     );
     work
 }
@@ -438,6 +550,25 @@ pub fn sweep_join(
     on_output: impl FnMut(&[(Interval, TupleId)]),
 ) -> u64 {
     run_forced(KernelKind::Sweep, q, cands, accept, on_output)
+}
+
+/// Forces the event-list sweep (complete only for colocation condition
+/// sets whose relation pairs all provably intersect — see
+/// `event_sweep::qualifies`); non-qualifying queries fall back to the
+/// plane sweep, which is complete for any single-attribute query.
+/// Returns work units. Used by benchmarks and equivalence tests.
+pub fn event_sweep_join(
+    q: &JoinQuery,
+    cands: &Candidates,
+    accept: impl Fn(&[(Interval, TupleId)]) -> bool,
+    on_output: impl FnMut(&[(Interval, TupleId)]),
+) -> u64 {
+    let kind = if event_sweep::qualifies(q) {
+        KernelKind::EventSweep
+    } else {
+        KernelKind::Sweep
+    };
+    run_forced(kind, q, cands, accept, on_output)
 }
 
 /// Forces the sort-merge kernel (complete for any single-attribute
@@ -500,12 +631,116 @@ mod tests {
 
     #[test]
     fn dispatch_follows_query_class() {
+        // Overlaps∘Contains chains don't guarantee pairwise intersection,
+        // so they stay on the dual-window sweep.
         let coloc = JoinQuery::chain(&[Overlaps, Contains]).unwrap();
         let seq = JoinQuery::chain(&[Before, Before]).unwrap();
         let mixed = JoinQuery::chain(&[Overlaps, Before]).unwrap();
         assert_eq!(choose(&coloc), KernelKind::Sweep);
         assert_eq!(choose(&seq), KernelKind::SortMerge);
         assert_eq!(choose(&mixed), KernelKind::Backtrack);
+        // Qualifying multi-way colocation sets route to the event sweep:
+        // cliques (every pair conditioned) and containment chains.
+        let clique = JoinQuery::new(
+            3,
+            vec![
+                ij_query::Condition::whole(0, Overlaps, 1),
+                ij_query::Condition::whole(1, Contains, 2),
+                ij_query::Condition::whole(0, Overlaps, 2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(choose(&clique), KernelKind::EventSweep);
+        let containment = JoinQuery::chain(&[Contains, Contains]).unwrap();
+        assert_eq!(choose(&containment), KernelKind::EventSweep);
+        // Pair-eligible queries keep the pair-sweep fast path.
+        let pair = JoinQuery::chain(&[Overlaps]).unwrap();
+        assert_eq!(choose(&pair), KernelKind::Sweep);
+        assert_eq!(planned_kernel(&pair), KernelStrategy::PairSweep);
+        assert_eq!(planned_kernel(&coloc), KernelStrategy::DualWindow);
+        assert_eq!(planned_kernel(&clique), KernelStrategy::EventSweep);
+        assert_eq!(planned_kernel(&seq), KernelStrategy::SortMerge);
+        assert_eq!(planned_kernel(&mixed), KernelStrategy::Backtrack);
+    }
+
+    /// A satisfiable 3-clique: r0 ov r1, r1 ⊇ r2, r0 ov r2 — e.g.
+    /// r0=[0,10], r1=[5,20], r2=[8,12].
+    fn clique3() -> JoinQuery {
+        JoinQuery::new(
+            3,
+            vec![
+                ij_query::Condition::whole(0, Overlaps, 1),
+                ij_query::Condition::whole(1, Contains, 2),
+                ij_query::Condition::whole(0, Overlaps, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn event_sweep_matches_other_kernels_on_cliques() {
+        let q = clique3();
+        for seed in 0..6 {
+            let c = random_cands(3, 40, 100 + seed);
+            let (_, mut es) = collect(|e| event_sweep_join(&q, &c, |_| true, |a| e(a)));
+            let (_, mut bt) = collect(|e| backtrack_join(&q, &c, |_| true, |a| e(a)));
+            let (_, mut sw) = collect(|e| sweep_join(&q, &c, |_| true, |a| e(a)));
+            es.sort();
+            bt.sort();
+            sw.sort();
+            assert!(!es.is_empty(), "workload too sparse");
+            assert_eq!(es, bt, "event sweep != backtrack");
+            assert_eq!(es, sw, "event sweep != dual-window sweep");
+        }
+    }
+
+    #[test]
+    fn event_sweep_parallel_is_byte_identical_with_invariant_peak() {
+        let q = clique3();
+        let c = random_cands(3, 60, 17);
+        let run = |threads: usize| {
+            let cfg = KernelConfig {
+                threads,
+                parallel_threshold: 0,
+            };
+            let mut got: Vec<TupleId> = Vec::new();
+            let rep = execute(
+                &q,
+                &c,
+                &cfg,
+                |_| true,
+                |a| got.extend(a.iter().map(|(_, t)| *t)),
+            );
+            assert_eq!(rep.kind, KernelKind::EventSweep);
+            (rep.work, rep.active_peak, got)
+        };
+        let (base_work, base_peak, base) = run(1);
+        assert!(!base.is_empty());
+        assert!(base_peak > 0, "active_peak must be tracked");
+        for t in [2, 3, 8] {
+            let (work, peak, got) = run(t);
+            assert_eq!(got, base, "threads = {t}: output order must not change");
+            assert_eq!(
+                work, base_work,
+                "threads = {t}: work must be chunk-invariant"
+            );
+            assert_eq!(
+                peak, base_peak,
+                "threads = {t}: active_peak must be chunk-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn event_sweep_reduce_join_reports_counters() {
+        let q = clique3();
+        let c = random_cands(3, 30, 5);
+        let mut ctx = ReduceCtx::new(0);
+        let rep = reduce_join(&mut ctx, &q, &c, |_| true, |_| {});
+        assert_eq!(rep.kind, KernelKind::EventSweep);
+        assert_eq!(ctx.counters().get("kernel.event_sweep_buckets"), 1);
+        assert_eq!(ctx.counters().get("kernel.active_peak"), rep.active_peak);
+        assert!(rep.active_peak > 0);
     }
 
     #[test]

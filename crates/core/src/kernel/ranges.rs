@@ -58,6 +58,28 @@ impl RangePair {
     pub fn contains(&self, iv: Interval) -> bool {
         bounds_contain(self.start, iv.start()) && bounds_contain(self.end, iv.end())
     }
+
+    /// Whether either range is contradictory — no point can satisfy it.
+    /// Class-independent: works on the intersected ranges of any
+    /// predicate mix.
+    ///
+    /// Exact for the integer [`Time`] domain (an `(Excluded(a),
+    /// Excluded(b))` range is empty iff `a + 1 >= b`), so a `true` lets a
+    /// probe loop skip a scan entirely and a `false` guarantees the range
+    /// admits at least one point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        fn empty(range: (Bound<Time>, Bound<Time>)) -> bool {
+            match range {
+                (Bound::Included(a), Bound::Included(b)) => a > b,
+                (Bound::Included(a), Bound::Excluded(b))
+                | (Bound::Excluded(a), Bound::Included(b)) => a >= b,
+                (Bound::Excluded(a), Bound::Excluded(b)) => a.saturating_add(1) >= b,
+                _ => false,
+            }
+        }
+        empty(self.start) || empty(self.end)
+    }
 }
 
 /// The exact endpoint ranges a candidate `r2` must satisfy for
@@ -212,6 +234,38 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// `is_empty` is exact on the small universe: a pair is empty iff no
+    /// interval (indeed no endpoint pair) satisfies it.
+    #[test]
+    fn is_empty_matches_exhaustive_membership() {
+        let ivs = universe(5);
+        for &a in &ivs {
+            for p in AllenPredicate::ALL {
+                for &b in &ivs {
+                    for q in AllenPredicate::ALL {
+                        let mut rp = range_pair(p, a);
+                        rp.intersect(&range_pair(q, b));
+                        let any = ivs.iter().any(|&c| rp.contains(c));
+                        if rp.is_empty() {
+                            assert!(!any, "{p}∧{q}: empty pair admits a member ({a},{b})");
+                        }
+                    }
+                }
+            }
+        }
+        // And fully exact on single ranges over raw points.
+        for lo in [Bound::Unbounded, Bound::Included(2), Bound::Excluded(2)] {
+            for hi in [Bound::Unbounded, Bound::Included(3), Bound::Excluded(3)] {
+                let rp = RangePair {
+                    start: (lo, hi),
+                    end: (Bound::Unbounded, Bound::Unbounded),
+                };
+                let any = (-1..=6).any(|t| bounds_contain((lo, hi), t));
+                assert_eq!(rp.is_empty(), !any, "lo={lo:?} hi={hi:?}");
             }
         }
     }

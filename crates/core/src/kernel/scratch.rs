@@ -1,0 +1,92 @@
+//! Reusable per-worker scratch buffers for the kernel runners.
+//!
+//! Every kernel needs a handful of working vectors per `run` call — the
+//! `assignment` slot array, the pair sweep's retirement pointers, the
+//! event sweep's active arrays and position index. Rebuilding them per
+//! bucket made reducer hot loops allocation-bound on small buckets, so
+//! they live in a thread-local [`Scratch`] instead: each runner takes the
+//! buffers out, resizes them (capacity is retained across calls), and
+//! puts them back when done. The take/put protocol keeps re-entrancy safe
+//! — a nested kernel call on the same thread (e.g. from inside an emit
+//! callback) simply sees an empty default scratch and allocates its own.
+//!
+//! Class-independent: the scratch holds no predicate state, only buffer
+//! capacity; behavioral equivalence is pinned by the kernel-vs-oracle
+//! proptests.
+
+use ij_interval::{Interval, TupleId};
+use std::cell::RefCell;
+
+/// Reusable buffers shared by all kernel strategies on one thread.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// One `(interval, tuple)` slot per relation — the binding being built.
+    pub(crate) assignment: Vec<(Interval, TupleId)>,
+    /// The pair sweep's path-halving retirement array (`n + 1` slots).
+    pub(crate) next: Vec<u32>,
+    /// The event sweep's gapless active arrays, one per relation; the
+    /// third slot is the tuple's candidate-list index (for `pos` fixup
+    /// after a swap-remove).
+    pub(crate) active: Vec<Vec<(Interval, TupleId, u32)>>,
+    /// The event sweep's position index: `pos[rel][list_idx]` is the slot
+    /// of that tuple in `active[rel]`, or `u32::MAX` when inactive.
+    pub(crate) pos: Vec<Vec<u32>>,
+}
+
+impl Scratch {
+    /// Resets `assignment` to `m` placeholder slots (capacity retained).
+    pub(crate) fn reset_assignment(&mut self, m: usize) -> &mut Vec<(Interval, TupleId)> {
+        self.assignment.clear();
+        self.assignment.resize(m, (Interval::point(0), 0));
+        &mut self.assignment
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Runs `f` with this thread's scratch buffers. The buffers are moved out
+/// for the duration of the call, so nested invocations fall back to a
+/// fresh default rather than aliasing.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let mut s = SCRATCH.with(RefCell::take);
+    let r = f(&mut s);
+    SCRATCH.with(|cell| *cell.borrow_mut() = s);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_capacity_survives_round_trips() {
+        let cap = with_scratch(|s| {
+            s.reset_assignment(16);
+            s.assignment.capacity()
+        });
+        assert!(cap >= 16);
+        let cap2 = with_scratch(|s| {
+            s.reset_assignment(4);
+            assert_eq!(s.assignment.len(), 4);
+            s.assignment.capacity()
+        });
+        assert!(cap2 >= cap, "capacity must be retained across calls");
+    }
+
+    #[test]
+    fn nested_calls_get_independent_buffers() {
+        with_scratch(|outer| {
+            outer.reset_assignment(3);
+            outer.assignment[0] = (Interval::point(7), 42);
+            with_scratch(|inner| {
+                // The outer buffers are checked out; the inner call must
+                // see a fresh scratch, not the outer's live data.
+                assert!(inner.assignment.is_empty());
+                inner.reset_assignment(2);
+            });
+            assert_eq!(outer.assignment[0], (Interval::point(7), 42));
+        });
+    }
+}

@@ -9,6 +9,7 @@
 //! routes only sequence-class queries here because the sweep kernel has
 //! the better access pattern for colocation windows.
 
+use super::scratch::with_scratch;
 use super::Compiled;
 use super::{ranges::range_pair, Emit, RangePair};
 use crate::executor::{window, Candidates};
@@ -25,13 +26,14 @@ pub(crate) fn run(
 ) {
     let rel0 = compiled.order[0];
     let list0 = cands.list(rel0);
-    let mut assignment: Vec<(Interval, TupleId)> =
-        vec![(Interval::point(0), 0); compiled.order.len()];
-    *work += outer.len() as u64;
-    for &(iv, tid) in &list0[outer] {
-        assignment[rel0] = (iv, tid);
-        descend(cands, compiled, 1, &mut assignment, emit, work);
-    }
+    with_scratch(|s| {
+        let assignment = s.reset_assignment(compiled.order.len());
+        *work += outer.len() as u64;
+        for &(iv, tid) in &list0[outer] {
+            assignment[rel0] = (iv, tid);
+            descend(cands, compiled, 1, assignment, emit, work);
+        }
+    });
 }
 
 fn descend(

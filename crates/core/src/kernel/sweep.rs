@@ -30,6 +30,7 @@
 //! permutation-free concatenation of the serial emission order.
 
 use super::ranges::{range_pair, window_ends};
+use super::scratch::with_scratch;
 use super::{Compiled, Emit, RangePair};
 use crate::executor::{window, Candidates};
 use ij_interval::{bounds_contain, AllenPredicate, Interval, Time, TupleId};
@@ -151,13 +152,14 @@ impl SweepPlan {
     ) {
         let rel0 = compiled.order[0];
         let list0 = cands.list(rel0);
-        let mut assignment: Vec<(Interval, TupleId)> =
-            vec![(Interval::point(0), 0); compiled.order.len()];
-        *work += outer.len() as u64;
-        for &(iv, tid) in &list0[outer] {
-            assignment[rel0] = (iv, tid);
-            self.descend(cands, compiled, 1, &mut assignment, emit, work);
-        }
+        with_scratch(|s| {
+            let assignment = s.reset_assignment(compiled.order.len());
+            *work += outer.len() as u64;
+            for &(iv, tid) in &list0[outer] {
+                assignment[rel0] = (iv, tid);
+                self.descend(cands, compiled, 1, assignment, emit, work);
+            }
+        });
     }
 
     fn descend(
@@ -222,52 +224,59 @@ impl PairSweep {
         let outer_list = cands.list(self.outer_rel);
         let inner_list = cands.list(self.inner_rel);
         let n = inner_list.len();
-        // Alive structure over the start-sorted inner list. Retirement is
-        // monotone along the outer order, so a chunk starting mid-order
-        // reaches the identical alive state by fast-forwarding its own
-        // retirement pointer — no cross-chunk dependency.
-        let mut next: Vec<u32> = (0..=n as u32).collect();
-        let mut retire = if self.contains { n } else { 0 };
-        let mut assignment: Vec<(Interval, TupleId)> = vec![(Interval::point(0), 0); 2];
-        for &oi in &self.outer_order[outer] {
-            let (o_iv, o_tid) = outer_list[oi as usize];
-            let (s1, e1) = (o_iv.start(), o_iv.end());
-            *work += 1;
-            assignment[self.outer_rel] = (o_iv, o_tid);
-            if self.contains {
-                // Alive ⇔ e2 < e1 (outer ends descending ⇒ retire from the
-                // top of the end order). Every alive inner with s2 > s1 is
-                // a match: s2 <= e2 < e1 holds automatically.
-                while retire > 0 && self.inner_ends[retire - 1].0 >= e1 {
-                    retire -= 1;
-                    let victim = self.inner_ends[retire].1 as usize;
-                    next[victim] = victim as u32 + 1;
-                }
-                let from = inner_list.partition_point(|(iv, _)| iv.start() <= s1);
-                let mut j = find(&mut next, from);
-                while j < n {
-                    *work += 1;
-                    assignment[self.inner_rel] = inner_list[j];
-                    emit(&assignment);
-                    j = find(&mut next, j + 1);
-                }
-            } else {
-                // Alive ⇔ e2 > e1 (outer ends ascending ⇒ retire from the
-                // bottom). Every alive inner with s2 ∈ (s1, e1) is a match.
-                while retire < n && self.inner_ends[retire].0 <= e1 {
-                    let victim = self.inner_ends[retire].1 as usize;
-                    next[victim] = victim as u32 + 1;
-                    retire += 1;
-                }
-                let from = inner_list.partition_point(|(iv, _)| iv.start() <= s1);
-                let mut j = find(&mut next, from);
-                while j < n && inner_list[j].0.start() < e1 {
-                    *work += 1;
-                    assignment[self.inner_rel] = inner_list[j];
-                    emit(&assignment);
-                    j = find(&mut next, j + 1);
+        with_scratch(|s| {
+            s.reset_assignment(2);
+            let super::scratch::Scratch {
+                assignment, next, ..
+            } = s;
+            // Alive structure over the start-sorted inner list. Retirement
+            // is monotone along the outer order, so a chunk starting
+            // mid-order reaches the identical alive state by fast-forwarding
+            // its own retirement pointer — no cross-chunk dependency.
+            next.clear();
+            next.extend(0..=n as u32);
+            let mut retire = if self.contains { n } else { 0 };
+            for &oi in &self.outer_order[outer] {
+                let (o_iv, o_tid) = outer_list[oi as usize];
+                let (s1, e1) = (o_iv.start(), o_iv.end());
+                *work += 1;
+                assignment[self.outer_rel] = (o_iv, o_tid);
+                if self.contains {
+                    // Alive ⇔ e2 < e1 (outer ends descending ⇒ retire from
+                    // the top of the end order). Every alive inner with
+                    // s2 > s1 is a match: s2 <= e2 < e1 holds automatically.
+                    while retire > 0 && self.inner_ends[retire - 1].0 >= e1 {
+                        retire -= 1;
+                        let victim = self.inner_ends[retire].1 as usize;
+                        next[victim] = victim as u32 + 1;
+                    }
+                    let from = inner_list.partition_point(|(iv, _)| iv.start() <= s1);
+                    let mut j = find(next, from);
+                    while j < n {
+                        *work += 1;
+                        assignment[self.inner_rel] = inner_list[j];
+                        emit(assignment);
+                        j = find(next, j + 1);
+                    }
+                } else {
+                    // Alive ⇔ e2 > e1 (outer ends ascending ⇒ retire from
+                    // the bottom). Every alive inner with s2 ∈ (s1, e1) is
+                    // a match.
+                    while retire < n && self.inner_ends[retire].0 <= e1 {
+                        let victim = self.inner_ends[retire].1 as usize;
+                        next[victim] = victim as u32 + 1;
+                        retire += 1;
+                    }
+                    let from = inner_list.partition_point(|(iv, _)| iv.start() <= s1);
+                    let mut j = find(next, from);
+                    while j < n && inner_list[j].0.start() < e1 {
+                        *work += 1;
+                        assignment[self.inner_rel] = inner_list[j];
+                        emit(assignment);
+                        j = find(next, j + 1);
+                    }
                 }
             }
-        }
+        });
     }
 }

@@ -2,9 +2,13 @@
 //! kernel and the windowed-backtracking fallback are *complete* executors
 //! for any single-attribute query, so on random chains and cliques over all
 //! 13 Allen predicates the three must produce identical result sets — and
-//! all must agree with the nested-loop oracle. Separately, the parallel
-//! driver must emit byte-identical output (same tuples, same order) and
-//! identical work units for every intra-bucket thread count.
+//! all must agree with the nested-loop oracle. The event-list sweep is
+//! complete only on its qualifying domain (pairwise-intersection-
+//! guaranteed colocation sets), checked here on colocation cliques and
+//! containment chains of arity 3–4. Separately, the parallel driver must
+//! emit byte-identical output (same tuples, same order) and identical
+//! work units — and, for the event sweep, an identical active peak — for
+//! every intra-bucket thread count and chunking threshold.
 
 use ij_core::executor::Candidates;
 use ij_core::kernel::{self, KernelConfig};
@@ -70,6 +74,29 @@ fn all_kernel_results(q: &JoinQuery, cands: &Candidates) -> [Vec<Vec<TupleId>>; 
             kernel::merge_join(q, cands, |_| true, |a| emit(a));
         }),
     ]
+}
+
+/// The 11 colocation predicates (everything but before/after) — the
+/// domain where clique condition sets qualify for the event sweep.
+const COLOCATION_PREDS: [AllenPredicate; 11] = {
+    use AllenPredicate::*;
+    [
+        Overlaps,
+        OverlappedBy,
+        Contains,
+        ContainedBy,
+        Meets,
+        MetBy,
+        Starts,
+        StartedBy,
+        Finishes,
+        FinishedBy,
+        Equals,
+    ]
+};
+
+fn colocation_pred_strategy() -> impl Strategy<Value = AllenPredicate> {
+    (0usize..COLOCATION_PREDS.len()).prop_map(|i| COLOCATION_PREDS[i])
 }
 
 /// A clique: one condition between every pair of relations. Often
@@ -162,6 +189,107 @@ proptest! {
                 work, base_work,
                 "thread count {} changed work units for {}", threads, q
             );
+        }
+    }
+
+    /// Arity-3/4 colocation cliques always qualify for the event sweep
+    /// (every pair directly conditioned); its result set must match the
+    /// oracle and the other complete kernels exactly — including the
+    /// contradictory cliques, which must be empty everywhere.
+    #[test]
+    fn event_sweep_matches_oracle_on_colocation_cliques(
+        m in 3u16..5,
+        preds in proptest::collection::vec(colocation_pred_strategy(), 6),
+        seed_rels in proptest::array::uniform4(rel_strategy()),
+    ) {
+        let q = clique(m, &preds);
+        let rels = &seed_rels[..m as usize];
+        let (cands, input) = build_inputs(&q, rels);
+        let mut es: Vec<Vec<TupleId>> = Vec::new();
+        kernel::event_sweep_join(&q, &cands, |_| true, |a| {
+            es.push(a.iter().map(|(_, t)| *t).collect())
+        });
+        es.sort();
+        let [bt, _, _] = all_kernel_results(&q, &cands);
+        let mut oracle = oracle_join(&q, &input);
+        oracle.sort();
+        prop_assert_eq!(&es, &bt, "event sweep != backtrack for {}", q);
+        prop_assert_eq!(&es, &oracle, "event sweep != oracle for {}", q);
+    }
+
+    /// Containment-family chains (arity 3–4) reach the event sweep via the
+    /// subset closure; the result set must still match the oracle.
+    #[test]
+    fn event_sweep_matches_oracle_on_containment_chains(
+        preds in proptest::collection::vec(
+            (0usize..5).prop_map(|i| [
+                AllenPredicate::Contains,
+                AllenPredicate::ContainedBy,
+                AllenPredicate::Starts,
+                AllenPredicate::Finishes,
+                AllenPredicate::Equals,
+            ][i]),
+            2..4usize,
+        ),
+        seed_rels in proptest::array::uniform4(rel_strategy()),
+    ) {
+        let q = JoinQuery::chain(&preds).unwrap();
+        let m = q.num_relations() as usize;
+        let rels = &seed_rels[..m];
+        let (cands, input) = build_inputs(&q, rels);
+        let mut es: Vec<Vec<TupleId>> = Vec::new();
+        kernel::event_sweep_join(&q, &cands, |_| true, |a| {
+            es.push(a.iter().map(|(_, t)| *t).collect())
+        });
+        es.sort();
+        let mut oracle = oracle_join(&q, &input);
+        oracle.sort();
+        prop_assert_eq!(&es, &oracle, "event sweep != oracle for {}", q);
+    }
+
+    /// Chunked parallel event sweep is invisible: for worker thread counts
+    /// 1/2/8 crossed with "always chunk" and "never chunk" thresholds, the
+    /// dispatcher routes qualifying cliques to the event sweep and emits
+    /// byte-identical output with chunk-invariant work and active peak.
+    #[test]
+    fn event_sweep_parallel_chunking_is_invariant(
+        m in 3u16..5,
+        preds in proptest::collection::vec(colocation_pred_strategy(), 6),
+        seed_rels in proptest::array::uniform4(rel_strategy()),
+    ) {
+        let q = clique(m, &preds);
+        let rels = &seed_rels[..m as usize];
+        let (cands, _) = build_inputs(&q, rels);
+        let run = |threads: usize, parallel_threshold: usize| {
+            let cfg = KernelConfig { threads, parallel_threshold };
+            let mut flat: Vec<TupleId> = Vec::new();
+            let rep = kernel::execute(
+                &q,
+                &cands,
+                &cfg,
+                |a| a.iter().map(|(_, t)| *t as u64).sum::<u64>() % 5 != 1,
+                |a| flat.extend(a.iter().map(|(_, t)| *t)),
+            );
+            assert_eq!(rep.kind, kernel::KernelKind::EventSweep, "{q}");
+            (rep.work, rep.active_peak, flat)
+        };
+        let (base_work, base_peak, base) = run(1, 0);
+        for threads in [1usize, 2, 8] {
+            for threshold in [0usize, usize::MAX] {
+                let (work, peak, flat) = run(threads, threshold);
+                prop_assert_eq!(
+                    &flat, &base,
+                    "threads {} threshold {} changed output for {}", threads, threshold, q
+                );
+                prop_assert_eq!(
+                    work, base_work,
+                    "threads {} threshold {} changed work for {}", threads, threshold, q
+                );
+                prop_assert_eq!(
+                    peak, base_peak,
+                    "threads {} threshold {} changed active peak for {}", threads, threshold, q
+                );
+            }
         }
     }
 }

@@ -751,12 +751,17 @@ impl Engine {
         let mut counters = Counters::new();
         let mut reduce_events: Vec<TraceEvent> = Vec::new();
         let mut service: Vec<(ReducerId, u64, u64)> = Vec::new();
+        let mut active_peaks: Vec<u64> = Vec::new();
         for slot in result_slots {
             let r = slot
                 .into_inner()
                 .ok_or(EngineError::Internal("reducer left no result"))?;
             if telemetry.is_some() {
                 service.push((r.key, r.load.pairs_received, r.service_ns));
+                let peak = r.counters.get("kernel.active_peak");
+                if peak > 0 {
+                    active_peaks.push(peak);
+                }
             }
             outs.push((r.key, r.out));
             loads.push(r.load);
@@ -764,11 +769,17 @@ impl Engine {
             reduce_events.extend(r.event);
         }
         if let Some(tel) = &telemetry {
-            // Service-time samples in bucket (key) order — the same
-            // deterministic merge discipline as the trace batches below.
+            // Service-time and active-peak samples in bucket (key) order —
+            // the same deterministic merge discipline as the trace batches
+            // below. `kernel.active_peak` sketches the event sweep's
+            // execution shape: the log2 histogram of per-bucket maximum
+            // active-array occupancy.
             let mut hists = HistogramRegistry::new();
             for &(_, _, ns) in &service {
                 hists.record("reduce.service_ns", ns);
+            }
+            for &peak in &active_peaks {
+                hists.record("kernel.active_peak", peak);
             }
             tel.merge_hists(&hists);
             let cfg = tel.config();

@@ -213,6 +213,7 @@ impl JobMetrics {
 /// counts *and* budgets.
 pub fn is_execution_shape(name: &str) -> bool {
     name == "kernel.parallel_buckets"
+        || name == "kernel.active_peak"
         || name.starts_with("spill.")
         || name.starts_with("telemetry.")
 }
@@ -490,6 +491,7 @@ mod tests {
     #[test]
     fn execution_shape_counters_are_classified() {
         assert!(is_execution_shape("kernel.parallel_buckets"));
+        assert!(is_execution_shape("kernel.active_peak"));
         assert!(is_execution_shape("spill.buckets"));
         assert!(is_execution_shape("spill.runs"));
         assert!(is_execution_shape("spill.bytes"));

@@ -25,6 +25,7 @@ pub fn is_execution_shape_series(name: &str) -> bool {
         || name == "telemetry.stragglers"
         || name == "telemetry.heartbeats.map"
         || name == "progress.map_tasks"
+        || name == "kernel.active_peak"
 }
 
 /// A point-in-time copy of everything the telemetry plane has recorded.
@@ -145,6 +146,7 @@ mod tests {
             "telemetry.stragglers",
             "telemetry.heartbeats.map",
             "progress.map_tasks",
+            "kernel.active_peak",
         ] {
             assert!(is_execution_shape_series(name), "{name}");
         }

@@ -26,7 +26,7 @@ use ij_core::one_bucket::OneBucketTheta;
 use ij_core::rccis::Rccis;
 use ij_core::two_way::TwoWayJoin;
 use ij_core::{Algorithm, JoinInput};
-use ij_interval::AllenPredicate::{Before, Overlaps};
+use ij_interval::AllenPredicate::{Before, Contains, Overlaps};
 use ij_interval::{Interval, Relation};
 use ij_mapreduce::{
     is_execution_shape, ClusterConfig, CostModel, Dfs, Engine, Telemetry, TelemetryConfig,
@@ -158,9 +158,23 @@ fn suite() -> Vec<(Box<dyn Algorithm>, JoinQuery)> {
     let hybrid = JoinQuery::chain(&[Overlaps, Before]).expect("hybrid chain");
     let seq = JoinQuery::chain(&[Before, Before]).expect("sequence chain");
     let pair = JoinQuery::chain(&[Overlaps]).expect("two-way chain");
+    // A satisfiable colocation *clique* — every pair directly conditioned,
+    // so reducers route to the event-list sweep (the `[Overlaps, Overlaps]`
+    // chain above does not qualify and stays on the dual-window sweep;
+    // both colocation kernel paths are audited).
+    let clique = JoinQuery::new(
+        3,
+        vec![
+            ij_query::Condition::whole(0, Overlaps, 1),
+            ij_query::Condition::whole(1, Contains, 2),
+            ij_query::Condition::whole(0, Overlaps, 2),
+        ],
+    )
+    .expect("colocation clique");
     vec![
         (Box::new(Rccis::new(6)) as Box<dyn Algorithm>, colo.clone()),
         (Box::new(AllReplicate::new(4)), colo.clone()),
+        (Box::new(AllReplicate::new(4)), clique),
         (Box::new(TwoWayCascade::new(4)), hybrid.clone()),
         (Box::new(AllMatrix::new(3)), seq.clone()),
         (Box::new(AllSeqMatrix::new(3)), hybrid.clone()),
@@ -322,10 +336,28 @@ mod tests {
     }
 
     #[test]
+    fn clique_family_routes_to_event_sweep() {
+        // The third suite entry is the colocation clique; its reducers
+        // must dispatch to the event-list sweep, and the routing counter —
+        // a data-plane counter — must land in the byte-diffed snapshot.
+        let (algo, q) = suite().remove(2);
+        assert_eq!(q.conditions().len(), 3, "clique has all three pairs");
+        let input = workload(&q, 0x5eed + q.num_relations() as u64, 40);
+        let (bytes, _, _) = snapshot(algo.as_ref(), &q, &input, 1, None).expect("snapshot");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let buckets = text
+            .lines()
+            .find_map(|l| l.strip_prefix("counter kernel.event_sweep_buckets="))
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("event sweep routing counter present in snapshot");
+        assert!(buckets > 0, "clique reducers never took the event sweep");
+    }
+
+    #[test]
     fn small_audit_passes_and_produces_output() {
         let report = run_audit(40).expect("audit runs");
         assert!(report.deterministic(), "{}", report.render());
-        assert_eq!(report.cases.len(), 11);
+        assert_eq!(report.cases.len(), 12);
         for c in &report.cases {
             assert!(
                 c.output_count > 0,

@@ -4,7 +4,7 @@
 //! PR 3's kernel tests proved chunked intra-bucket execution is
 //! order-preserving; `tests/determinism.rs` checks two families
 //! end-to-end. This test closes the gap by driving `repolint`'s dynamic
-//! auditor, which runs *all eleven* algorithm families on a seeded
+//! auditor, which runs *all twelve* audited family/query cases on a seeded
 //! workload under `worker_threads`/`intra_reduce_threads` 1, 2 and 8
 //! with a low heavy-bucket threshold (so the parallel kernels engage),
 //! serializes each run's output tuples and chain `total_counters`
@@ -20,7 +20,7 @@ fn all_algorithm_families_are_byte_identical_across_thread_counts() {
     let report = run_audit(80).expect("audit suite runs");
     assert_eq!(
         report.cases.len(),
-        11,
+        12,
         "expected every algorithm family to be audited"
     );
     for case in &report.cases {
