@@ -1,6 +1,7 @@
 //! Result tables: aligned console output plus machine-readable JSON (used
 //! to regenerate EXPERIMENTS.md).
 
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::{Counters, ReducerLoad, SkewReport, TelemetrySnapshot};
 use serde::Serialize;
 use std::io::Write;
@@ -215,15 +216,15 @@ pub fn fmt_phases(map_secs: f64, shuffle_secs: f64, reduce_secs: f64) -> String 
 /// and spill wall time: `-` when nothing spilled (no budget, or every
 /// bucket fit), else `"<buckets>b/<runs>r/<bytes>B <secs>"`.
 pub fn fmt_spill(counters: &Counters, spill_secs: f64) -> String {
-    let buckets = counters.get("spill.buckets");
+    let buckets = counters.get(names::SPILL_BUCKETS);
     if buckets == 0 {
         "-".to_string()
     } else {
         format!(
             "{}b/{}r/{}B {}",
             buckets,
-            counters.get("spill.runs"),
-            counters.get("spill.bytes"),
+            counters.get(names::SPILL_RUNS),
+            counters.get(names::SPILL_BYTES),
             fmt_secs(spill_secs)
         )
     }
@@ -246,15 +247,15 @@ pub fn telemetry_note(snap: &TelemetrySnapshot) -> String {
     let s = |name: &str| snap.series.get(name).copied().unwrap_or(0);
     let mut out = format!(
         "telemetry: jobs {}/{} reducers {}/{} heartbeats map={} reduce={} stragglers={}",
-        s("progress.jobs_finished"),
-        s("progress.jobs_started"),
-        s("progress.reducers_done"),
-        s("progress.reducers"),
-        s("telemetry.heartbeats.map"),
-        s("telemetry.heartbeats.reduce"),
-        s("telemetry.stragglers"),
+        s(names::PROGRESS_JOBS_FINISHED),
+        s(names::PROGRESS_JOBS_STARTED),
+        s(names::PROGRESS_REDUCERS_DONE),
+        s(names::PROGRESS_REDUCERS),
+        s(names::HEARTBEATS_MAP),
+        s(names::HEARTBEATS_REDUCE),
+        s(names::TELEMETRY_STRAGGLERS),
     );
-    if let Some(h) = snap.histograms.get("reduce.service_ns") {
+    if let Some(h) = snap.histograms.get(names::REDUCE_SERVICE_NS) {
         if let (Some(min), Some(max)) = (h.min(), h.max()) {
             out.push_str(&format!(" service_ns[min={min} max={max} n={}]", h.count()));
         }

@@ -17,6 +17,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
 use ij_interval::{ops, Interval, TupleId};
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{AttrRef, JoinQuery};
 
@@ -102,9 +103,9 @@ impl Algorithm for AllReplicate {
                     }
                     let copies = (em.emitted() - before) as u64;
                     if replicate {
-                        em.inc("allrep.replica_pairs", copies);
+                        em.inc(names::ALLREP_REPLICA_PAIRS, copies);
                     } else {
-                        em.inc("allrep.projected_pairs", copies);
+                        em.inc(names::ALLREP_PROJECTED_PAIRS, copies);
                     }
                 }
             },
@@ -130,8 +131,8 @@ impl Algorithm for AllReplicate {
                         out.push(OutRec::Tuple(a.iter().map(|(_, t)| *t).collect()));
                     }
                 });
-                ctx.inc("join.candidates", rep.work);
-                ctx.inc("join.emitted", count);
+                ctx.inc(names::JOIN_CANDIDATES, rep.work);
+                ctx.inc(names::JOIN_EMITTED, count);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }

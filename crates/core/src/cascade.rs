@@ -17,6 +17,7 @@ use crate::kernel::{range_pair, RangePair};
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{CompRec, OutRec};
 use ij_interval::{bounds_contain, ops, Interval, MapOp, Partitioning, RelId, TupleId};
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::{Emitter, Engine, JobChain, Record, ReduceCtx, ValueStream};
 use ij_query::{Condition, JoinQuery};
 
@@ -260,8 +261,8 @@ pub fn run_stage(
                 }
                 let copies = (em.emitted() - before) as u64;
                 match rec {
-                    CascRec::Comp(_) => em.inc("cascade.comp_pairs", copies),
-                    CascRec::Base { .. } => em.inc("cascade.base_pairs", copies),
+                    CascRec::Comp(_) => em.inc(names::CASCADE_COMP_PAIRS, copies),
+                    CascRec::Base { .. } => em.inc(names::CASCADE_BASE_PAIRS, copies),
                 }
             }
             Routing::Matrix { part, space } => {
@@ -273,8 +274,8 @@ pub fn run_stage(
                 let cells = space.cells_eq(dim, qidx);
                 em.emit_to_all(cells.iter().copied(), rec);
                 match rec {
-                    CascRec::Comp(_) => em.inc("cascade.comp_pairs", cells.len() as u64),
-                    CascRec::Base { .. } => em.inc("cascade.base_pairs", cells.len() as u64),
+                    CascRec::Comp(_) => em.inc(names::CASCADE_COMP_PAIRS, cells.len() as u64),
+                    CascRec::Base { .. } => em.inc(names::CASCADE_BASE_PAIRS, cells.len() as u64),
                 }
             }
         },
@@ -318,8 +319,8 @@ pub fn run_stage(
                 }
             }
             ctx.add_work(work);
-            ctx.inc("join.candidates", work);
-            ctx.inc("join.emitted", count);
+            ctx.inc(names::JOIN_CANDIDATES, work);
+            ctx.inc(names::JOIN_EMITTED, count);
             if finalize == Some(OutputMode::Count) && count > 0 {
                 out.push(OutRec::Count(count));
             }

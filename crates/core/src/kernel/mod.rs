@@ -56,6 +56,7 @@ pub use ranges::{range_pair, RangePair};
 
 use crate::executor::Candidates;
 use ij_interval::{AllenPredicate, Interval, TupleId};
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::ReduceCtx;
 use ij_query::{JoinQuery, QueryClass};
 use std::any::Any;
@@ -85,10 +86,10 @@ impl KernelKind {
     /// every kernel kind regardless of predicate class.
     pub fn counter(self) -> &'static str {
         match self {
-            KernelKind::Sweep => "kernel.sweep_buckets",
-            KernelKind::EventSweep => "kernel.event_sweep_buckets",
-            KernelKind::SortMerge => "kernel.merge_buckets",
-            KernelKind::Backtrack => "kernel.fallback_buckets",
+            KernelKind::Sweep => names::KERNEL_SWEEP_BUCKETS,
+            KernelKind::EventSweep => names::KERNEL_EVENT_SWEEP_BUCKETS,
+            KernelKind::SortMerge => names::KERNEL_MERGE_BUCKETS,
+            KernelKind::Backtrack => names::KERNEL_FALLBACK_BUCKETS,
         }
     }
 }
@@ -502,14 +503,14 @@ where
     ctx.add_work(rep.work);
     ctx.inc(rep.kind.counter(), 1);
     if rep.parallel_chunks > 1 {
-        ctx.inc("kernel.parallel_buckets", 1);
+        ctx.inc(names::KERNEL_PARALLEL_BUCKETS, 1);
     }
     if rep.active_peak > 0 {
         // Execution-shape counter (see `ij_mapreduce::is_execution_shape`):
         // the event sweep's peak concurrent-interval count, the signal the
         // skew-driven thread budget consumes. The engine also records the
         // per-bucket values into the `kernel.active_peak` histogram.
-        ctx.inc("kernel.active_peak", rep.active_peak);
+        ctx.inc(names::KERNEL_ACTIVE_PEAK, rep.active_peak);
     }
     rep
 }

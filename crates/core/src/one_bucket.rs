@@ -22,6 +22,7 @@ use crate::input::JoinInput;
 use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{IvRec, OutRec};
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::{Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::JoinQuery;
 
@@ -96,13 +97,13 @@ impl Algorithm for OneBucketTheta {
                     for col in 0..cols {
                         em.emit(row * cols + col, *rec);
                     }
-                    em.inc("onebucket.row_copies", cols);
+                    em.inc(names::ONEBUCKET_ROW_COPIES, cols);
                 } else {
                     let col = h % cols;
                     for row in 0..rows {
                         em.emit(row * cols + col, *rec);
                     }
-                    em.inc("onebucket.col_copies", rows);
+                    em.inc(names::ONEBUCKET_COL_COPIES, rows);
                 }
             },
             move |ctx: &mut ReduceCtx, values: &mut ValueStream<IvRec>, out: &mut Vec<OutRec>| {
@@ -124,8 +125,8 @@ impl Algorithm for OneBucketTheta {
                         }
                     },
                 );
-                ctx.inc("join.candidates", rep.work);
-                ctx.inc("join.emitted", count);
+                ctx.inc(names::JOIN_CANDIDATES, rep.work);
+                ctx.inc(names::JOIN_EMITTED, count);
                 if mode == OutputMode::Count && count > 0 {
                     out.push(OutRec::Count(count));
                 }

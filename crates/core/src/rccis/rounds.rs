@@ -9,6 +9,7 @@ use crate::kernel;
 use crate::output::{JoinOutput, OutputMode};
 use crate::records::{FlagRec, IvRec, OutRec};
 use ij_interval::{ops, Interval, Partitioning, TupleId};
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::{Dfs, Emitter, Engine, JobChain, ReduceCtx, ValueStream};
 use ij_query::{JoinQuery, QueryClass};
 
@@ -114,10 +115,10 @@ pub(crate) fn run_marking_cycle(
                     em.emit(p as u64, *rec);
                 }
                 let copies = (em.emitted() - before) as u64;
-                em.inc("rccis.split_pairs", copies);
+                em.inc(names::RCCIS_SPLIT_PAIRS, copies);
                 if copies > 1 {
                     // The interval crosses at least one partition boundary.
-                    em.inc("rccis.crossing_intervals", 1);
+                    em.inc(names::RCCIS_CROSSING_INTERVALS, 1);
                 }
             }
         },
@@ -135,7 +136,7 @@ pub(crate) fn run_marking_cycle(
                     // Each interval is written once: by its start partition.
                     if partc.index_of(iv.start()) == p {
                         if replicate {
-                            ctx.inc("rccis.flagged_intervals", 1);
+                            ctx.inc(names::RCCIS_FLAGGED_INTERVALS, 1);
                         }
                         out.push(FlagRec {
                             rec: IvRec {
@@ -184,9 +185,9 @@ pub(crate) fn run_join_cycle(
                 }
                 let copies = (em.emitted() - before) as u64;
                 if rec.replicate {
-                    em.inc("rccis.replica_pairs", copies);
+                    em.inc(names::RCCIS_REPLICA_PAIRS, copies);
                 } else {
-                    em.inc("rccis.projected_pairs", copies);
+                    em.inc(names::RCCIS_PROJECTED_PAIRS, copies);
                 }
             }
         },
@@ -214,8 +215,8 @@ pub(crate) fn run_join_cycle(
                     }
                 },
             );
-            ctx.inc("join.candidates", rep.work);
-            ctx.inc("join.emitted", count);
+            ctx.inc(names::JOIN_CANDIDATES, rep.work);
+            ctx.inc(names::JOIN_EMITTED, count);
             if mode == OutputMode::Count && count > 0 {
                 out.push(OutRec::Count(count));
             }

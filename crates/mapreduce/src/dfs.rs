@@ -79,20 +79,24 @@ impl Dfs {
 
     /// Writes `records` as the immutable file `path`.
     pub fn write<V: Record>(&self, path: &str, records: Vec<V>) -> Result<(), DfsError> {
-        let mut files = self.files.write();
-        if files.contains_key(path) {
-            return Err(DfsError::AlreadyExists(path.to_string()));
-        }
         let bytes: u64 = records.iter().map(Record::approx_bytes).sum();
         let count = records.len() as u64;
-        files.insert(
-            path.to_string(),
-            DfsFile {
-                records: Arc::new(records),
-                bytes,
-                count,
-            },
-        );
+        // The namespace guard is released before touching the stats lock:
+        // the two locks are never held together, so no ordering can deadlock.
+        {
+            let mut files = self.files.write();
+            if files.contains_key(path) {
+                return Err(DfsError::AlreadyExists(path.to_string()));
+            }
+            files.insert(
+                path.to_string(),
+                DfsFile {
+                    records: Arc::new(records),
+                    bytes,
+                    count,
+                },
+            );
+        }
         let mut stats = self.stats.write();
         stats.records_written += count;
         stats.bytes_written += bytes;
@@ -101,18 +105,21 @@ impl Dfs {
 
     /// Reads the file at `path`, returning a shared handle to its records.
     pub fn read<V: Record>(&self, path: &str) -> Result<Arc<Vec<V>>, DfsError> {
-        let files = self.files.read();
-        let file = files
-            .get(path)
-            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
-        let records = file
-            .records
-            .clone()
-            .downcast::<Vec<V>>()
-            .map_err(|_| DfsError::WrongType(path.to_string()))?;
+        let (records, count, bytes) = {
+            let files = self.files.read();
+            let file = files
+                .get(path)
+                .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+            let records = file
+                .records
+                .clone()
+                .downcast::<Vec<V>>()
+                .map_err(|_| DfsError::WrongType(path.to_string()))?;
+            (records, file.count, file.bytes)
+        };
         let mut stats = self.stats.write();
-        stats.records_read += file.count;
-        stats.bytes_read += file.bytes;
+        stats.records_read += count;
+        stats.bytes_read += bytes;
         Ok(records)
     }
 
@@ -128,17 +135,20 @@ impl Dfs {
         start: usize,
         len: usize,
     ) -> Result<Vec<V>, DfsError> {
-        let files = self.files.read();
-        let file = files
-            .get(path)
-            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
-        let records = file
-            .records
-            .downcast_ref::<Vec<V>>()
-            .ok_or_else(|| DfsError::WrongType(path.to_string()))?;
-        let start = start.min(records.len());
-        let end = start.saturating_add(len).min(records.len());
-        let out: Vec<V> = records[start..end].to_vec();
+        let out: Vec<V> = {
+            let files = self.files.read();
+            let file = files
+                .get(path)
+                .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+            let records = file
+                .records
+                .downcast_ref::<Vec<V>>()
+                .ok_or_else(|| DfsError::WrongType(path.to_string()))?;
+            let start = start.min(records.len());
+            let end = start.saturating_add(len).min(records.len());
+            // repolint: allow(panic-propagation): start <= end <= records.len() by the clamps above.
+            records[start..end].to_vec()
+        };
         let bytes: u64 = out.iter().map(Record::approx_bytes).sum();
         let mut stats = self.stats.write();
         stats.records_read += out.len() as u64;

@@ -32,7 +32,7 @@ use crate::dfs::DfsError;
 use crate::error::EngineError;
 use crate::fault::FaultPlan;
 use crate::job::{BucketSource, Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
-use crate::metrics::{Counters, JobMetrics, ReducerLoad};
+use crate::metrics::{names, Counters, JobMetrics, ReducerLoad};
 use crate::record::Record;
 use crate::spill::{SpillRun, SpillStats, SpillStore, SpilledBucket};
 use crate::telemetry::{detect_stragglers, HistogramRegistry, Telemetry};
@@ -308,9 +308,9 @@ impl Engine {
             // under one lock.
             let mut hists = HistogramRegistry::new();
             for (_, source) in &buckets {
-                hists.record("reduce.bucket_pairs", source.len() as u64);
+                hists.record(names::REDUCE_BUCKET_PAIRS, source.len() as u64);
             }
-            hists.record("shuffle.job_bytes", shuffle.bytes);
+            hists.record(names::SHUFFLE_JOB_BYTES, shuffle.bytes);
             tel.merge_hists(&hists);
             tel.gauges().add_reducers(buckets.len() as u64);
             tel.phase_end(name, "shuffle", shuffle.pairs);
@@ -324,9 +324,9 @@ impl Engine {
             self.run_reduce_phase(name, buckets, &reducer)?;
         counters.merge(&reduce_counters);
         if spill_stats.buckets > 0 {
-            counters.inc("spill.buckets", spill_stats.buckets);
-            counters.inc("spill.runs", spill_stats.runs);
-            counters.inc("spill.bytes", spill_stats.bytes);
+            counters.inc(names::SPILL_BUCKETS, spill_stats.buckets);
+            counters.inc(names::SPILL_RUNS, spill_stats.runs);
+            counters.inc(names::SPILL_BYTES, spill_stats.bytes);
         }
 
         // Concatenate outputs in key order, accounting output volume in the
@@ -492,7 +492,7 @@ impl Engine {
         if let Some(tel) = telemetry {
             let mut hists = HistogramRegistry::new();
             for c in &chunks {
-                hists.record("map.task_records", c.len() as u64);
+                hists.record(names::MAP_TASK_RECORDS, c.len() as u64);
             }
             tel.merge_hists(&hists);
             tel.gauges().add_map_tasks(chunks.len() as u64);
@@ -599,6 +599,7 @@ impl Engine {
                             if i >= n {
                                 break;
                             }
+                            // repolint: allow(panic-propagation): i < n == slots.len(), guarded by the break above
                             let slot = &slots[i];
                             let mut attempts = 0u32;
                             loop {
@@ -693,6 +694,7 @@ impl Engine {
                                     attempts,
                                 };
                                 let ReduceCtx { counters, .. } = ctx;
+                                // repolint: allow(panic-propagation): i < n == result_refs.len(), same guard
                                 *result_refs[i].lock() = Some(ReduceResult {
                                     key: slot.key,
                                     out,
@@ -758,7 +760,7 @@ impl Engine {
                 .ok_or(EngineError::Internal("reducer left no result"))?;
             if telemetry.is_some() {
                 service.push((r.key, r.load.pairs_received, r.service_ns));
-                let peak = r.counters.get("kernel.active_peak");
+                let peak = r.counters.get(names::KERNEL_ACTIVE_PEAK);
                 if peak > 0 {
                     active_peaks.push(peak);
                 }
@@ -776,10 +778,10 @@ impl Engine {
             // active-array occupancy.
             let mut hists = HistogramRegistry::new();
             for &(_, _, ns) in &service {
-                hists.record("reduce.service_ns", ns);
+                hists.record(names::REDUCE_SERVICE_NS, ns);
             }
             for &peak in &active_peaks {
-                hists.record("kernel.active_peak", peak);
+                hists.record(names::KERNEL_ACTIVE_PEAK, peak);
             }
             tel.merge_hists(&hists);
             let cfg = tel.config();
@@ -788,7 +790,7 @@ impl Engine {
             if !stragglers.is_empty() {
                 // Execution-shape by classification: rates depend on wall
                 // time, so the counter only exists when telemetry is on.
-                counters.inc("telemetry.stragglers", stragglers.len() as u64);
+                counters.inc(names::TELEMETRY_STRAGGLERS, stragglers.len() as u64);
             }
             tel.note_stragglers(job_name, &stragglers);
         }
@@ -834,6 +836,7 @@ fn merge_runs_each<M: Record, E>(
         // A heap entry is pushed only when `heads[run]` was just refilled,
         // so a missing head is unreachable; skip defensively over panicking
         // in the shuffle hot path.
+        // repolint: allow(panic-propagation): run < runs.len() — heap entries carry valid run ids
         let Some((_, value)) = heads[run].take() else {
             debug_assert!(false, "heap entry without a head");
             continue;
@@ -841,7 +844,9 @@ fn merge_runs_each<M: Record, E>(
         stats.pairs += 1;
         stats.bytes += value.approx_bytes() + 8;
         each(key, value)?;
+        // repolint: allow(panic-propagation): same valid run id as above
         heads[run] = iters[run].next();
+        // repolint: allow(panic-propagation): same valid run id as above
         if let Some((k, _)) = &heads[run] {
             heap.push(Reverse((*k, run)));
         }

@@ -6,6 +6,10 @@
 //! [`crate::JobChain`] aggregates them across the cycles of a multi-cycle
 //! algorithm.
 
+pub mod names;
+
+pub use names::is_execution_shape;
+
 use crate::job::ReducerId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -200,22 +204,6 @@ impl JobMetrics {
     pub fn skew_report(&self, k: usize) -> SkewReport {
         SkewReport::from_loads(&self.reducer_loads, k)
     }
-}
-
-/// Whether a counter name describes *execution shape* — how a run was
-/// physically carried out (intra-reducer chunking, spill decisions) rather
-/// than the data plane. Execution-shape counters are legitimately
-/// configuration-dependent: `kernel.parallel_buckets` varies with the
-/// thread grant, and the `spill.*` family varies with
-/// [`crate::ClusterConfig::reduce_memory_budget`]. Determinism byte-diffs
-/// (`repolint audit`, the equivalence proptests) exclude exactly these
-/// names; every data-plane counter must stay byte-identical across thread
-/// counts *and* budgets.
-pub fn is_execution_shape(name: &str) -> bool {
-    name == "kernel.parallel_buckets"
-        || name == "kernel.active_peak"
-        || name.starts_with("spill.")
-        || name.starts_with("telemetry.")
 }
 
 /// Per-reducer load-skew diagnosis for one job: the distribution of

@@ -38,6 +38,7 @@ pub use snapshot::{is_execution_shape_series, TelemetrySnapshot};
 
 use crate::error::EngineError;
 use crate::job::ReducerId;
+use crate::metrics::names;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -165,9 +166,9 @@ impl Telemetry {
     /// record the event.
     pub(crate) fn heartbeat(&self, job: &str, scope: &'static str, id: u64, processed: u64) {
         let series = if scope == "map" {
-            "telemetry.heartbeats.map"
+            names::HEARTBEATS_MAP
         } else {
-            "telemetry.heartbeats.reduce"
+            names::HEARTBEATS_REDUCE
         };
         self.inc_series(series, 1);
         self.flight.push(TelemetryEvent::Heartbeat {
@@ -215,7 +216,7 @@ impl Telemetry {
         if stragglers.is_empty() {
             return;
         }
-        self.inc_series("telemetry.stragglers", stragglers.len() as u64);
+        self.inc_series(names::TELEMETRY_STRAGGLERS, stragglers.len() as u64);
         let t_ns = self.clock.now_nanos();
         for s in stragglers {
             self.flight.push(TelemetryEvent::Straggler {
@@ -230,7 +231,7 @@ impl Telemetry {
 
     /// The budgeted shuffle wrote a spill run.
     pub(crate) fn spill_run(&self, reducer: ReducerId, bytes: u64) {
-        self.record_hist("spill.run_bytes", bytes);
+        self.record_hist(names::SPILL_RUN_BYTES, bytes);
         self.flight.push(TelemetryEvent::SpillRun {
             reducer,
             bytes,
@@ -263,9 +264,9 @@ impl Telemetry {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut series: BTreeMap<String, u64> = BTreeMap::new();
         for name in [
-            "telemetry.heartbeats.map",
-            "telemetry.heartbeats.reduce",
-            "telemetry.stragglers",
+            names::HEARTBEATS_MAP,
+            names::HEARTBEATS_REDUCE,
+            names::TELEMETRY_STRAGGLERS,
         ] {
             series.insert(name.to_string(), 0);
         }
@@ -277,7 +278,9 @@ impl Telemetry {
             *series.entry(name.clone()).or_insert(0) += *v;
         }
         let mut histograms = agg.hists.to_map();
-        histograms.entry("spill.run_bytes".to_string()).or_default();
+        histograms
+            .entry(names::SPILL_RUN_BYTES.to_string())
+            .or_default();
         TelemetrySnapshot { series, histograms }
     }
 }

@@ -9,6 +9,7 @@
 //! depend on thread count or memory budget.
 
 use crate::job::ReducerId;
+use crate::metrics::names;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lock-free progress counters the engine bumps while jobs run.
@@ -96,13 +97,13 @@ impl ProgressGauges {
     /// (what snapshots embed).
     pub fn read_all(&self) -> [(&'static str, u64); 7] {
         [
-            ("progress.jobs_started", self.jobs_started()),
-            ("progress.jobs_finished", self.jobs_finished()),
-            ("progress.map_records", self.map_records()),
-            ("progress.map_tasks", self.map_tasks()),
-            ("progress.reduce_values", self.reduce_values()),
-            ("progress.reducers", self.reducers()),
-            ("progress.reducers_done", self.reducers_done()),
+            (names::PROGRESS_JOBS_STARTED, self.jobs_started()),
+            (names::PROGRESS_JOBS_FINISHED, self.jobs_finished()),
+            (names::PROGRESS_MAP_RECORDS, self.map_records()),
+            (names::PROGRESS_MAP_TASKS, self.map_tasks()),
+            (names::PROGRESS_REDUCE_VALUES, self.reduce_values()),
+            (names::PROGRESS_REDUCERS, self.reducers()),
+            (names::PROGRESS_REDUCERS_DONE, self.reducers_done()),
         ]
     }
 }
@@ -142,6 +143,7 @@ pub fn detect_stragglers(
     let rate_of = |pairs: u64, ns: u64| pairs as f64 / ns.max(1) as f64;
     let mut rates: Vec<f64> = loads.iter().map(|&(_, p, ns)| rate_of(p, ns)).collect();
     rates.sort_by(f64::total_cmp);
+    // repolint: allow(panic-propagation): rates.len() >= 2 by the guard at the top
     let median = rates[rates.len() / 2];
     if median <= 0.0 {
         return Vec::new();

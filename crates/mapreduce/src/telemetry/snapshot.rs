@@ -10,23 +10,14 @@
 //! dependent) the same way [`crate::is_execution_shape`] strips counters.
 
 use super::hist::{bucket_upper_bound, Histogram};
+use crate::metrics::names;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// True for telemetry series whose value legitimately depends on *how*
-/// the job executed (thread count, chunking, memory budget, wall clock)
-/// rather than on *what* it computed. These are excluded from the
-/// cross-thread-count determinism contract, mirroring
-/// [`crate::is_execution_shape`] for counters.
-pub fn is_execution_shape_series(name: &str) -> bool {
-    name.starts_with("spill.")
-        || name.starts_with("map.task")
-        || name.ends_with("_ns")
-        || name == "telemetry.stragglers"
-        || name == "telemetry.heartbeats.map"
-        || name == "progress.map_tasks"
-        || name == "kernel.active_peak"
-}
+// The series classifier lives in the `metrics::names` registry next to
+// its counter sibling, so the two execution-shape sets cannot drift —
+// re-exported here at its historical path.
+pub use crate::metrics::names::is_execution_shape_series;
 
 /// A point-in-time copy of everything the telemetry plane has recorded.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -85,7 +76,7 @@ impl TelemetrySnapshot {
         let mut out = String::with_capacity(64 * (self.series.len() + self.histograms.len()));
         for (name, value) in &self.series {
             let pname = prometheus_name(name);
-            let kind = if name.starts_with("progress.") {
+            let kind = if name.starts_with(names::PROGRESS_PREFIX) {
                 "gauge"
             } else {
                 "counter"

@@ -28,6 +28,7 @@ use ij_core::two_way::TwoWayJoin;
 use ij_core::{Algorithm, JoinInput};
 use ij_interval::AllenPredicate::{Before, Contains, Overlaps};
 use ij_interval::{Interval, Relation};
+use ij_mapreduce::metrics::names;
 use ij_mapreduce::{
     is_execution_shape, ClusterConfig, CostModel, Dfs, Engine, Telemetry, TelemetryConfig,
     VirtualClock,
@@ -245,7 +246,7 @@ fn snapshot(
     Ok((
         stored.join("\n").into_bytes(),
         out.count,
-        counters.get("spill.buckets"),
+        counters.get(names::SPILL_BUCKETS),
     ))
 }
 
@@ -347,7 +348,9 @@ mod tests {
         let text = String::from_utf8(bytes).expect("utf8");
         let buckets = text
             .lines()
-            .find_map(|l| l.strip_prefix("counter kernel.event_sweep_buckets="))
+            .find_map(|l| {
+                l.strip_prefix(&format!("counter {}=", names::KERNEL_EVENT_SWEEP_BUCKETS))
+            })
             .and_then(|v| v.parse::<u64>().ok())
             .expect("event sweep routing counter present in snapshot");
         assert!(buckets > 0, "clique reducers never took the event sweep");

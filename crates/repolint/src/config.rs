@@ -14,6 +14,15 @@ pub const WALL_CLOCK: &str = "wall-clock";
 pub const NO_PANIC: &str = "no-panic";
 /// See [`UNORDERED_ITER`].
 pub const KERNEL_DOC: &str = "kernel-doc";
+/// Call-graph rule: no panic-capable function reachable from the engine
+/// entry points (`repolint graph`).
+pub const PANIC_PROPAGATION: &str = "panic-propagation";
+/// Call-graph rule: counter/histogram names must come from the
+/// `mapreduce::metrics::names` registry (`repolint graph`).
+pub const COUNTER_REGISTRY: &str = "counter-registry";
+/// Call-graph rule: no nested lock acquisitions, no lock held across a
+/// `ValueStream` pull or Dfs I/O (`repolint graph`).
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 /// Emitted for malformed allow-markers (unknown rule, no justification).
 pub const BAD_MARKER: &str = "bad-marker";
 
@@ -47,6 +56,24 @@ pub const RULES: &[RuleInfo] = &[
         name: KERNEL_DOC,
         summary: "every pub fn in core::kernel documents its \
                   predicate-class precondition",
+    },
+    RuleInfo {
+        name: PANIC_PROPAGATION,
+        summary: "no unwrap/expect/panic!/indexing-panic function \
+                  transitively reachable from Engine::run_job, Dfs, spill \
+                  or the telemetry data plane",
+    },
+    RuleInfo {
+        name: COUNTER_REGISTRY,
+        summary: "counter/histogram names are declared once in \
+                  mapreduce::metrics::names and referenced as constants; \
+                  execution-shape classifiers live in the registry",
+    },
+    RuleInfo {
+        name: LOCK_DISCIPLINE,
+        summary: "no nested .lock()/.read()/.write() acquisitions in one \
+                  function; no lock held across a ValueStream pull or \
+                  Dfs I/O call",
     },
 ];
 

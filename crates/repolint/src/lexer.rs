@@ -11,16 +11,25 @@
 //!   so `"HashMap"` inside a string never looks like an identifier;
 //! * the char-literal vs. lifetime ambiguity (`'a'` vs. `'a`);
 //! * numeric literals, including `0..n` ranges (the `.` stays punctuation).
+//!
+//! String-ish literals keep their *contents* (kind [`TokKind::Str`]) so
+//! the counter-registry rule can compare metric-name literals against the
+//! `mapreduce::metrics::names` registry; numeric and char literals stay
+//! text-free ([`TokKind::Literal`]) — no rule inspects them.
 
-/// What a token is. Literals carry no text: no rule inspects them.
+/// What a token is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword.
     Ident,
     /// A single punctuation character.
     Punct,
-    /// String / raw-string / byte / char / numeric literal.
+    /// Numeric or char literal (no text).
     Literal,
+    /// String / raw-string / byte-string literal; `text` holds the
+    /// contents between the quotes (escapes resolved naively: the char
+    /// after a `\` is kept verbatim).
+    Str,
 }
 
 /// One token with its source position.
@@ -28,8 +37,8 @@ pub enum TokKind {
 pub struct Token {
     /// Kind of token.
     pub kind: TokKind,
-    /// Identifier text, or the punctuation character as a 1-char string.
-    /// Empty for literals.
+    /// Identifier text, the punctuation character as a 1-char string, or
+    /// a string literal's contents. Empty for numeric/char literals.
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
@@ -176,28 +185,34 @@ impl Lexer {
         });
     }
 
-    /// A plain `"…"` string (the opening quote is at `pos`).
+    /// A plain `"…"` string (the opening quote is at `pos`). Contents are
+    /// kept; an escape keeps the char after the `\` verbatim (good enough
+    /// for metric-name comparison — registry names contain no escapes).
     fn string_literal(&mut self) {
         let line = self.line;
+        let mut text = String::new();
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump(); // whatever is escaped
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                c => text.push(c),
             }
         }
         self.out.tokens.push(Token {
-            kind: TokKind::Literal,
-            text: String::new(),
+            kind: TokKind::Str,
+            text,
             line,
         });
     }
 
     /// A raw string `r"…"` / `r#"…"#` with the `r`/`br` already consumed;
-    /// `pos` sits on the first `#` or the opening quote.
+    /// `pos` sits on the first `#` or the opening quote. Contents are kept
+    /// verbatim (no escape processing — raw strings have none).
     fn raw_string_literal(&mut self, line: u32) {
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
@@ -205,10 +220,12 @@ impl Lexer {
             self.bump();
         }
         self.bump(); // opening quote
+        let mut text = String::new();
         'body: while let Some(c) = self.bump() {
             if c == '"' {
                 for k in 0..hashes {
                     if self.peek(k) != Some('#') {
+                        text.push(c);
                         continue 'body;
                     }
                 }
@@ -217,10 +234,11 @@ impl Lexer {
                 }
                 break;
             }
+            text.push(c);
         }
         self.out.tokens.push(Token {
-            kind: TokKind::Literal,
-            text: String::new(),
+            kind: TokKind::Str,
+            text,
             line,
         });
     }
@@ -388,5 +406,62 @@ mod tests {
         let lexed = lex("a\nb\n  c");
         let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    fn strs(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        assert_eq!(strs(r#"c.inc("spill.runs", 1);"#), vec!["spill.runs"]);
+        assert_eq!(strs(r#"let s = "a\"b";"#), vec!["a\"b"]);
+        assert_eq!(strs(r#"let b = b"bytes";"#), vec!["bytes"]);
+    }
+
+    #[test]
+    fn raw_strings_with_comment_markers_do_not_open_comments() {
+        // `//` and `/*` inside raw strings must stay string contents: a
+        // call site after them must still lex as code, and no comment may
+        // be recorded.
+        let src = "let a = r\"// not a comment\";\n\
+                   let b = r#\"/* also not */ still text\"#;\n\
+                   after();";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+        assert!(lexed.tokens.iter().any(|t| t.text == "after"));
+        let got = strs(src);
+        assert_eq!(got, vec!["// not a comment", "/* also not */ still text"]);
+    }
+
+    #[test]
+    fn nested_raw_strings_inside_macro_bodies() {
+        // A raw string whose body contains quotes and hash-quote runs
+        // shorter than its own delimiter, nested in a macro invocation —
+        // call-site extraction after the macro must not be fooled.
+        let src = "write!(out, r##\"quote \" and r#\"inner\"# done\"##).ok();\n\
+                   c.inc(\"spill.runs\", 1);";
+        let lexed = lex(src);
+        let got: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(got, vec!["quote \" and r#\"inner\"# done", "spill.runs"]);
+        assert!(lexed.tokens.iter().any(|t| t.text == "inc"));
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn unterminated_raw_string_runs_to_eof_without_panicking() {
+        let lexed = lex("let x = r#\"never closed");
+        assert_eq!(strs("let x = r#\"never closed"), vec!["never closed"]);
+        assert!(lexed.tokens.iter().any(|t| t.text == "x"));
     }
 }

@@ -12,6 +12,17 @@
 //! | `no-panic` | engine hot paths (`engine.rs`, `dfs.rs`, `job.rs`, `spill.rs`) return typed [`ij_mapreduce::EngineError`]s, never panic |
 //! | `kernel-doc` | every `pub fn` in `core::kernel` states the predicate classes it is complete for |
 //!
+//! `repolint graph` (DESIGN.md §15) lifts the analysis across files: it
+//! parses every crate's token stream into a call graph
+//! ([`symbols`]/[`callgraph`]) and runs three semantic rule families
+//! ([`graph`]) over it:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic-propagation` | no panic-capable function transitively reachable from `Engine::run_job`, the `Dfs`, the spill path or the telemetry data plane |
+//! | `counter-registry` | every counter/histogram name is a `mapreduce::metrics::names` constant; the execution-shape classifiers are defined only in that registry |
+//! | `lock-discipline` | no nested guard acquisitions; no guard held across a `ValueStream` pull or Dfs I/O call |
+//!
 //! `// repolint: allow(<rule>): <justification>` suppresses a rule for
 //! the next line; `allow(<rule>, file)` for the whole file. The
 //! justification is mandatory.
@@ -23,11 +34,14 @@
 //! Dfs-serialized output.
 
 pub mod audit;
+pub mod callgraph;
 pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 use rules::Violation;
 use std::path::Path;

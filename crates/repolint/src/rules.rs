@@ -33,14 +33,23 @@ pub struct Violation {
 
 /// A parsed `repolint: allow(...)` marker.
 #[derive(Debug)]
-struct Marker {
-    rule: String,
-    file_scope: bool,
+pub(crate) struct Marker {
+    pub(crate) rule: String,
+    pub(crate) file_scope: bool,
     /// Suppressed line range, inclusive (line-scope markers cover their
     /// contiguous comment block plus the next source line).
-    span: (u32, u32),
-    justified: bool,
-    line: u32,
+    pub(crate) span: (u32, u32),
+    pub(crate) justified: bool,
+    pub(crate) line: u32,
+}
+
+impl Marker {
+    /// Whether this marker suppresses `rule` on `line`.
+    pub(crate) fn covers(&self, rule: &str, line: u32) -> bool {
+        self.justified
+            && self.rule == rule
+            && (self.file_scope || (self.span.0 <= line && line <= self.span.1))
+    }
 }
 
 /// Lints one file. `path` is the workspace-relative path used for rule
@@ -78,13 +87,7 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
         }
     }
 
-    let allowed = |rule: &str, line: u32| {
-        markers.iter().any(|m| {
-            m.justified
-                && m.rule == rule
-                && (m.file_scope || (m.span.0 <= line && line <= m.span.1))
-        })
-    };
+    let allowed = |rule: &str, line: u32| markers.iter().any(|m| m.covers(rule, line));
 
     if config::in_unordered_iter_scope(path) {
         rule_unordered_iter(path, &lexed, &in_test, &allowed, &mut out);
@@ -106,7 +109,7 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
 // ---------------------------------------------------------------------------
 // Allow-markers
 
-fn parse_markers(lexed: &LexedFile) -> Vec<Marker> {
+pub(crate) fn parse_markers(lexed: &LexedFile) -> Vec<Marker> {
     let mut markers = Vec::new();
     for (i, c) in lexed.comments.iter().enumerate() {
         // Markers live in plain comments only — doc comments merely
@@ -160,7 +163,7 @@ fn parse_markers(lexed: &LexedFile) -> Vec<Marker> {
 
 /// Returns a per-token mask: `true` where the token sits inside a
 /// `#[cfg(test)]` item (attribute through matching close brace).
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let is = |i: usize, kind: TokKind, text: &str| {
         tokens
@@ -447,30 +450,31 @@ fn doc_block_above(
 ) -> Option<String> {
     // Lines occupied by attributes directly above the fn: walk tokens
     // backward over balanced `#[ … ]` groups.
+    // Kind-guarded comparisons throughout: string literals now carry their
+    // contents as `text`, so a `"]"` literal must never look like a bracket.
+    let punct = |t: &Token, ch: &str| t.kind == TokKind::Punct && t.text == ch;
     let mut first_line = fn_line;
     let mut j = tok_idx;
     while j >= 1 {
-        if toks[j - 1].text == "]" {
+        if punct(&toks[j - 1], "]") {
             // Walk back to the matching `[` and its `#`.
             let mut depth = 0usize;
             let mut k = j - 1;
             loop {
-                match toks[k].text.as_str() {
-                    "]" => depth += 1,
-                    "[" => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
+                if punct(&toks[k], "]") {
+                    depth += 1;
+                } else if punct(&toks[k], "[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
                     }
-                    _ => {}
                 }
                 if k == 0 {
                     return None;
                 }
                 k -= 1;
             }
-            if k >= 1 && toks[k - 1].text == "#" {
+            if k >= 1 && punct(&toks[k - 1], "#") {
                 first_line = toks[k - 1].line;
                 j = k - 1;
                 continue;

@@ -1,0 +1,16 @@
+// Seeded fixture: the disciplined versions — scoped guards, I/O after
+// release — must produce no violations.
+pub fn sequential(&self) {
+    {
+        let files = self.files.write();
+        files.touch();
+    }
+    let stats = self.stats.write();
+    drop(stats);
+}
+
+pub fn io_after_release(&self, stream: &mut ValueStream) {
+    let snapshot = self.state.lock().clone();
+    let _ = stream.next();
+    self.dfs.write("out/part-0", snapshot);
+}

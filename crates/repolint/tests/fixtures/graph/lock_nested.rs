@@ -1,0 +1,12 @@
+// Seeded fixture: both lock-discipline violation shapes.
+pub fn nested(&self) {
+    let files = self.files.write();
+    let stats = self.stats.write();
+    drop((files, stats));
+}
+
+pub fn across_io(&self, stream: &mut ValueStream) {
+    let guard = self.state.lock();
+    let _ = stream.next();
+    self.dfs.write("out/part-0", guard.clone());
+}

@@ -1,0 +1,19 @@
+// Seeded fixture: the engine entry point. `run_job` reaches the panicking
+// helper in `panic_helper.rs` across the file boundary — the token-level
+// no-panic rule can't see that, the call-graph pass must.
+pub struct Engine;
+
+impl Engine {
+    pub fn run_job(&self) -> u64 {
+        let shaped = prepare(7);
+        helper_chain(shaped)
+    }
+}
+
+fn prepare(x: u64) -> u64 {
+    x * 2
+}
+
+fn helper_chain(x: u64) -> u64 {
+    crate::deeper(x)
+}

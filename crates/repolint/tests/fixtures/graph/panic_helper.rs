@@ -1,0 +1,15 @@
+// Seeded fixture: a helper two hops from `Engine::run_job` that panics.
+// Each panic class the rule must catch appears once.
+pub fn deeper(x: u64) -> u64 {
+    let v: Vec<u64> = vec![x];
+    let first = v[0];
+    let opt: Option<u64> = Some(first);
+    opt.unwrap()
+}
+
+pub fn island(x: u64) -> u64 {
+    // Unreachable from any entry point: must NOT be reported even though
+    // it panics.
+    assert_ne!(x, 0);
+    panic!("island");
+}

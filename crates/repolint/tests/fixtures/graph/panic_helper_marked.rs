@@ -1,0 +1,10 @@
+// Seeded fixture: the same helper with justified allow-markers — the
+// pass must honor them and report nothing.
+pub fn deeper(x: u64) -> u64 {
+    let v: Vec<u64> = vec![x];
+    // repolint: allow(panic-propagation): v has exactly one element, built above
+    let first = v[0];
+    let opt: Option<u64> = Some(first);
+    // repolint: allow(no-panic): opt is Some by construction
+    opt.unwrap()
+}
