@@ -9,6 +9,7 @@
 //! compared costs (communication volume, straggler load, intermediate
 //! result size) scale together.
 
+use ij_mapreduce::SchedPolicy;
 use std::fmt;
 
 /// A scale factor with helpers for applying it to the paper's counts.
@@ -32,7 +33,7 @@ impl fmt::Display for Scale {
 ///
 /// Recognized flags: `--scale <f64>`, `--seed <u64>`, `--json <path>`,
 /// `--slots <usize>`, `--trace <path>`, `--budget <bytes>`,
-/// `--metrics-out <path>`, `--help`.
+/// `--metrics-out <path>`, `--sched <policy>`, `--help`.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Workload scale relative to the paper.
@@ -54,6 +55,10 @@ pub struct BenchArgs {
     /// exposition format after the run, if anywhere. Setting this also
     /// attaches the telemetry plane to the engine.
     pub metrics_out: Option<String>,
+    /// Intra-reduce thread-grant policy (`uniform` | `skew` | `serial`);
+    /// defaults to the engine's skew-driven scheduler. Output bytes are
+    /// policy-invariant — only wall-clock and the `sched.*` counters move.
+    pub sched: SchedPolicy,
 }
 
 impl BenchArgs {
@@ -65,7 +70,7 @@ impl BenchArgs {
                 eprintln!("error: {e}\n");
                 eprintln!("{about}");
                 eprintln!(
-                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)\n       --budget <u64> (reduce-memory budget in bytes; oversized buckets spill)\n       --metrics-out <path> (write a Prometheus text snapshot of the run's telemetry)"
+                    "flags: --scale <f64>  (default {default_scale}; 1.0 = paper scale)\n       --seed <u64>   (default 42)\n       --json <path>  (write results as JSON)\n       --slots <n>    (reduce slots, default 16)\n       --trace <path> (write a Chrome trace of every job)\n       --budget <u64> (reduce-memory budget in bytes; oversized buckets spill)\n       --metrics-out <path> (write a Prometheus text snapshot of the run's telemetry)\n       --sched <uniform|skew|serial> (intra-reduce grant policy, default skew)"
                 );
                 std::process::exit(2);
             })
@@ -85,6 +90,7 @@ impl BenchArgs {
             trace: None,
             budget: None,
             metrics_out: None,
+            sched: SchedPolicy::default(),
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -115,6 +121,11 @@ impl BenchArgs {
                 }
                 "--trace" => out.trace = Some(value("--trace")?),
                 "--metrics-out" => out.metrics_out = Some(value("--metrics-out")?),
+                "--sched" => {
+                    out.sched = value("--sched")?
+                        .parse()
+                        .map_err(|e| format!("--sched: {e}"))?
+                }
                 "--slots" => {
                     out.slots = value("--slots")?
                         .parse()
@@ -146,6 +157,7 @@ mod tests {
         assert!(a.trace.is_none());
         assert!(a.budget.is_none());
         assert!(a.metrics_out.is_none());
+        assert_eq!(a.sched, SchedPolicy::SkewDriven);
     }
 
     #[test]
@@ -166,6 +178,8 @@ mod tests {
                 "4096",
                 "--metrics-out",
                 "m.prom",
+                "--sched",
+                "uniform",
             ]),
             0.05,
             "t",
@@ -178,6 +192,21 @@ mod tests {
         assert_eq!(a.trace.as_deref(), Some("t.json"));
         assert_eq!(a.budget, Some(4096));
         assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(a.sched, SchedPolicy::Uniform);
+    }
+
+    #[test]
+    fn sched_parses_every_policy_and_rejects_unknown() {
+        for (flag, want) in [
+            ("uniform", SchedPolicy::Uniform),
+            ("skew", SchedPolicy::SkewDriven),
+            ("serial", SchedPolicy::AllSerial),
+        ] {
+            let a = BenchArgs::parse_from(sv(&["--sched", flag]), 0.1, "t").unwrap();
+            assert_eq!(a.sched, want);
+        }
+        assert!(BenchArgs::parse_from(sv(&["--sched"]), 0.1, "t").is_err());
+        assert!(BenchArgs::parse_from(sv(&["--sched", "greedy"]), 0.1, "t").is_err());
     }
 
     #[test]

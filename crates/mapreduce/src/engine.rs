@@ -34,6 +34,7 @@ use crate::fault::FaultPlan;
 use crate::job::{BucketSource, Emitter, Mapper, ReduceCtx, Reducer, ReducerId, SortedRun};
 use crate::metrics::{names, Counters, JobMetrics, ReducerLoad};
 use crate::record::Record;
+use crate::schedule::{BucketLoad, SchedConfig, SchedulePlan};
 use crate::spill::{SpillRun, SpillStats, SpillStore, SpilledBucket};
 use crate::telemetry::{detect_stragglers, HistogramRegistry, Telemetry};
 use crate::trace::{SpanKind, TraceEvent, Tracer};
@@ -65,8 +66,10 @@ pub struct ClusterConfig {
     pub worker_threads: usize,
     /// Upper bound on worker threads one reducer invocation may use for
     /// heavy-bucket compute (the kernel layer's intra-reducer parallelism).
-    /// The engine additionally caps the per-bucket grant so that concurrent
-    /// reducers never oversubscribe `worker_threads`. Defaults to
+    /// How the grant is actually computed per bucket is governed by
+    /// [`ClusterConfig::sched`]: the default skew-driven policy hands up to
+    /// this many threads to predicted-heavy buckets (heavy-first, from a
+    /// shared token pool) while light buckets run serial. Defaults to
     /// `worker_threads`; set to 1 for strictly serial reducers.
     pub intra_reduce_threads: usize,
     /// Candidate count at which a bucket counts as heavy and may use the
@@ -83,6 +86,11 @@ pub struct ClusterConfig {
     /// execution-shape counters differ; see
     /// [`crate::metrics::is_execution_shape`]).
     pub reduce_memory_budget: Option<u64>,
+    /// Intra-reduce scheduling policy and scoring knobs (see
+    /// [`crate::schedule`]). Outputs and data-plane counters are
+    /// byte-identical for every policy; only the `sched.*` execution-shape
+    /// counters differ.
+    pub sched: SchedConfig,
     /// Cost-model weights for the simulated cluster time.
     pub cost: CostModel,
 }
@@ -98,6 +106,7 @@ impl Default for ClusterConfig {
             intra_reduce_threads: threads,
             heavy_bucket_threshold: DEFAULT_HEAVY_BUCKET_THRESHOLD,
             reduce_memory_budget: None,
+            sched: SchedConfig::default(),
             cost: CostModel::default(),
         }
     }
@@ -538,21 +547,24 @@ impl Engine {
             counters: Counters,
             event: Option<TraceEvent>,
             service_ns: u64,
+            grant: u64,
         }
 
         let threads = self.cfg.worker_threads.max(1);
         let next = AtomicUsize::new(0);
         let n = buckets.len();
-        // Intra-reducer thread grant: the configured cap, further bounded so
-        // that all concurrently running reducers together stay within the
-        // worker-thread budget (with fewer buckets than workers, each bucket
-        // may fan out; with many buckets, grants degrade to 1 = serial).
-        let concurrent = threads.min(n.max(1));
-        let intra_budget = self
-            .cfg
-            .intra_reduce_threads
-            .max(1)
-            .min((threads / concurrent).max(1));
+        // Intra-reduce scheduling: score every bucket by predicted work
+        // (full logical length — spilled buckets report their pre-spill
+        // pair count — times the kernel work multiplier and spill penalty)
+        // and build the execution plan: pull order plus the live grant
+        // table workers draw thread budgets from. Under the default
+        // skew-driven policy heavy buckets run first with up to
+        // `intra_reduce_threads`, light buckets run serial, and grants are
+        // recomputed from remaining pool capacity as buckets finish. The
+        // plan never affects output bytes — results land in per-bucket
+        // slots and merge in bucket order below.
+        let bucket_loads: Vec<BucketLoad> = buckets.iter().map(|(_, s)| s.load()).collect();
+        let plan = SchedulePlan::new(&self.cfg, &bucket_loads);
         let heavy_threshold = self.cfg.heavy_bucket_threshold;
         let faults = self.faults.clone();
         let tracer = self.tracer.as_deref();
@@ -586,6 +598,7 @@ impl Engine {
         let result_refs = &result_slots;
         let telemetry_ref = &telemetry;
         let job_label = &job_label;
+        let plan = &plan;
 
         crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads.min(n.max(1)))
@@ -595,12 +608,26 @@ impl Engine {
                         let mut buckets_run = 0u64;
                         let mut spill_read_nanos = 0u64;
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
+                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            if pos >= n {
                                 break;
                             }
-                            // repolint: allow(panic-propagation): i < n == slots.len(), guarded by the break above
+                            // Workers steal *pull positions*; the plan maps
+                            // each position to a bucket index so heavy
+                            // buckets are picked up first under the
+                            // skew-driven order (identity for the static
+                            // policies).
+                            let Some(&i) = plan.order().get(pos) else {
+                                break;
+                            };
+                            // repolint: allow(panic-propagation): i < n == slots.len() — plan.order() is a permutation of 0..n
                             let slot = &slots[i];
+                            // The bucket's thread grant, drawn from the
+                            // plan's token pool now (not at spawn time) so
+                            // it reflects capacity freed by finished
+                            // buckets. Held across fault retries; returned
+                            // when the bucket completes.
+                            let grant = plan.acquire(i);
                             let mut attempts = 0u32;
                             loop {
                                 attempts += 1;
@@ -639,11 +666,8 @@ impl Engine {
                                 let r0 = tracer.map(Tracer::now_us).unwrap_or(0);
                                 let svc0 = telemetry_ref.as_ref().map_or(0, |t| t.now_nanos());
                                 let mut out = Vec::new();
-                                let mut ctx = ReduceCtx::with_parallelism(
-                                    slot.key,
-                                    intra_budget,
-                                    heavy_threshold,
-                                );
+                                let mut ctx =
+                                    ReduceCtx::with_parallelism(slot.key, grant, heavy_threshold);
                                 let mut values = source.into_stream();
                                 if let Some(tel) = telemetry_ref {
                                     values.enable_heartbeats(
@@ -685,6 +709,7 @@ impl Engine {
                                     .arg("work", ctx.work())
                                     .arg("out", out.len() as u64)
                                     .arg("spilled", spilled as u64)
+                                    .arg("grant", grant as u64)
                                 });
                                 let load = ReducerLoad {
                                     key: slot.key,
@@ -702,6 +727,7 @@ impl Engine {
                                     counters,
                                     event,
                                     service_ns,
+                                    grant: grant as u64,
                                 });
                                 if let Some(tel) = telemetry_ref {
                                     tel.gauges().note_reducer_done();
@@ -709,6 +735,10 @@ impl Engine {
                                 buckets_run += 1;
                                 break;
                             }
+                            // Return the grant so queued buckets see the
+                            // freed capacity (error paths abort the whole
+                            // job, so they need not bother).
+                            plan.release(grant);
                         }
                         let stint = tracer.map(|t| {
                             TraceEvent::span(
@@ -719,7 +749,7 @@ impl Engine {
                                 t.now_us(),
                             )
                             .arg("buckets", buckets_run)
-                            .arg("intra_budget", intra_budget as u64)
+                            .arg("heavy_buckets", plan.heavy_count() as u64)
                         });
                         Ok((stint, spill_read_nanos))
                     })
@@ -754,6 +784,7 @@ impl Engine {
         let mut reduce_events: Vec<TraceEvent> = Vec::new();
         let mut service: Vec<(ReducerId, u64, u64)> = Vec::new();
         let mut active_peaks: Vec<u64> = Vec::new();
+        let mut grants: Vec<u64> = Vec::with_capacity(n);
         for slot in result_slots {
             let r = slot
                 .into_inner()
@@ -765,10 +796,26 @@ impl Engine {
                     active_peaks.push(peak);
                 }
             }
+            grants.push(r.grant);
             outs.push((r.key, r.out));
             loads.push(r.load);
             counters.merge(&r.counters);
             reduce_events.extend(r.event);
+        }
+        // Scheduler shape counters (the `sched.` prefix is execution-shape:
+        // grants vary with policy, thread count and pool state, never the
+        // data plane). `sched.grants` sums the per-bucket grants, so any
+        // value above the bucket count proves some bucket ran
+        // multi-threaded — what the repolint-audit sched leg asserts.
+        // Recorded only when the plan deviated from the all-serial floor,
+        // mirroring the `spill.*` gate: trivial jobs keep a clean counter
+        // set.
+        let granted_total: u64 = grants.iter().sum();
+        if granted_total > n as u64 || plan.heavy_count() > 0 {
+            counters.inc(names::SCHED_GRANTS, granted_total);
+            if plan.heavy_count() > 0 {
+                counters.inc(names::SCHED_HEAVY_BUCKETS, plan.heavy_count() as u64);
+            }
         }
         if let Some(tel) = &telemetry {
             // Service-time and active-peak samples in bucket (key) order —
@@ -782,6 +829,11 @@ impl Engine {
             }
             for &peak in &active_peaks {
                 hists.record(names::KERNEL_ACTIVE_PEAK, peak);
+            }
+            // Per-bucket grants in bucket (key) order: the grant histogram
+            // the audit sched leg inspects (`max() > 1` on the heavy mix).
+            for &g in &grants {
+                hists.record(names::SCHED_GRANT_THREADS, g);
             }
             tel.merge_hists(&hists);
             let cfg = tel.config();

@@ -140,7 +140,11 @@ impl ReduceCtx {
 
     /// A context carrying the engine's intra-reducer parallelism grant:
     /// heavy-bucket kernels may use up to `thread_budget` worker threads
-    /// once a bucket reaches `heavy_bucket_threshold` candidates.
+    /// once a bucket reaches `heavy_bucket_threshold` candidates. The
+    /// engine computes `thread_budget` per bucket via
+    /// [`crate::schedule::SchedulePlan::acquire`] — under the default
+    /// skew-driven policy a predicted-heavy bucket gets up to
+    /// `intra_reduce_threads` from the shared pool, a light one gets 1.
     pub(crate) fn with_parallelism(
         key: ReducerId,
         thread_budget: usize,
@@ -233,6 +237,18 @@ impl<M: Record> BucketSource<M> {
     /// Whether the bucket was spilled to DFS.
     pub fn is_spilled(&self) -> bool {
         matches!(self, BucketSource::Spilled(_))
+    }
+
+    /// What the intra-reduce scheduler needs to score this bucket before
+    /// it runs. For a spilled bucket `pairs` is the *full logical length*
+    /// — [`crate::spill::SpilledBucket::len`] counts every value the
+    /// budgeted merge routed here, not the in-memory tail — so scores are
+    /// independent of `reduce_memory_budget`.
+    pub fn load(&self) -> crate::schedule::BucketLoad {
+        crate::schedule::BucketLoad {
+            pairs: self.len() as u64,
+            spilled: self.is_spilled(),
+        }
     }
 
     /// The pull-based value stream a reducer consumes.

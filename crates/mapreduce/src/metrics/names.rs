@@ -73,6 +73,16 @@ pub const SPILL_BYTES: &str = "spill.bytes";
 /// rates depend on wall time). Also a telemetry series.
 pub const TELEMETRY_STRAGGLERS: &str = "telemetry.stragglers";
 
+/// Total intra-reduce threads granted across all buckets — the sum of
+/// per-bucket grants, so a value above the bucket count means some bucket
+/// ran multi-threaded (execution-shape: depends on the sched policy and
+/// thread count).
+pub const SCHED_GRANTS: &str = "sched.grants";
+/// Buckets the scheduler classified heavy (execution-shape: the cutoff
+/// depends on `heavy_bucket_threshold` and the work multiplier, and the
+/// counter is only meaningful relative to a policy).
+pub const SCHED_HEAVY_BUCKETS: &str = "sched.heavy_buckets";
+
 // ---------------------------------------------------------------------------
 // Histograms (recorded via `HistogramRegistry::record` /
 // `Telemetry::record_hist`).
@@ -87,6 +97,9 @@ pub const MAP_TASK_RECORDS: &str = "map.task_records";
 pub const REDUCE_SERVICE_NS: &str = "reduce.service_ns";
 /// Per-run spilled bytes (execution-shape: budget).
 pub const SPILL_RUN_BYTES: &str = "spill.run_bytes";
+/// Per-bucket intra-reduce thread grants in key order (execution-shape:
+/// grants depend on the sched policy, thread count and pool state).
+pub const SCHED_GRANT_THREADS: &str = "sched.grant_threads";
 
 // ---------------------------------------------------------------------------
 // Telemetry series (recorded via `Telemetry::inc_series` and the
@@ -138,11 +151,14 @@ pub const ALL: &[&str] = &[
     SPILL_RUNS,
     SPILL_BYTES,
     TELEMETRY_STRAGGLERS,
+    SCHED_GRANTS,
+    SCHED_HEAVY_BUCKETS,
     REDUCE_BUCKET_PAIRS,
     SHUFFLE_JOB_BYTES,
     MAP_TASK_RECORDS,
     REDUCE_SERVICE_NS,
     SPILL_RUN_BYTES,
+    SCHED_GRANT_THREADS,
     HEARTBEATS_MAP,
     HEARTBEATS_REDUCE,
     PROGRESS_JOBS_STARTED,
@@ -163,6 +179,11 @@ pub const ALL: &[&str] = &[
 pub const SPILL_PREFIX: &str = "spill.";
 /// Name prefix of the live-telemetry counter family.
 pub const TELEMETRY_PREFIX: &str = "telemetry.";
+/// Name prefix of the intra-reduce scheduler family; shared by the
+/// counter and series classifiers like [`SPILL_PREFIX`] — grants and
+/// heavy classifications describe *how* a run executed, never the data
+/// plane.
+pub const SCHED_PREFIX: &str = "sched.";
 /// Name prefix of the progress gauges (rendered as Prometheus gauges).
 pub const PROGRESS_PREFIX: &str = "progress.";
 /// Name prefix of per-map-task series (chunking-dependent).
@@ -174,7 +195,7 @@ pub const NS_SUFFIX: &str = "_ns";
 /// prefix.
 pub const SHAPE_COUNTER_NAMES: &[&str] = &[KERNEL_PARALLEL_BUCKETS, KERNEL_ACTIVE_PEAK];
 /// Counter-name prefixes whose whole family is execution-shape.
-pub const SHAPE_COUNTER_PREFIXES: &[&str] = &[SPILL_PREFIX, TELEMETRY_PREFIX];
+pub const SHAPE_COUNTER_PREFIXES: &[&str] = &[SPILL_PREFIX, TELEMETRY_PREFIX, SCHED_PREFIX];
 
 /// Exact series names that are execution-shape without sharing a shape
 /// prefix or suffix. Note `telemetry.heartbeats.reduce` is *absent*:
@@ -187,7 +208,7 @@ pub const SHAPE_SERIES_NAMES: &[&str] = &[
     KERNEL_ACTIVE_PEAK,
 ];
 /// Series-name prefixes whose whole family is execution-shape.
-pub const SHAPE_SERIES_PREFIXES: &[&str] = &[SPILL_PREFIX, MAP_TASK_PREFIX];
+pub const SHAPE_SERIES_PREFIXES: &[&str] = &[SPILL_PREFIX, MAP_TASK_PREFIX, SCHED_PREFIX];
 /// Series-name suffixes whose whole family is execution-shape.
 pub const SHAPE_SERIES_SUFFIXES: &[&str] = &[NS_SUFFIX];
 
@@ -242,6 +263,20 @@ mod tests {
         assert!(SHAPE_SERIES_PREFIXES.contains(&SPILL_PREFIX));
         assert!(is_execution_shape(SPILL_RUNS));
         assert!(is_execution_shape_series(SPILL_RUN_BYTES));
+    }
+
+    #[test]
+    fn both_classifiers_share_the_sched_prefix() {
+        // The grant counters and histogram vary with SchedPolicy and
+        // thread count; were either classifier to miss the prefix, the
+        // cross-policy byte-diffs in `repolint audit` and the
+        // schedule_equivalence proptest would flag legitimate grant
+        // variation as nondeterminism.
+        assert!(SHAPE_COUNTER_PREFIXES.contains(&SCHED_PREFIX));
+        assert!(SHAPE_SERIES_PREFIXES.contains(&SCHED_PREFIX));
+        assert!(is_execution_shape(SCHED_GRANTS));
+        assert!(is_execution_shape(SCHED_HEAVY_BUCKETS));
+        assert!(is_execution_shape_series(SCHED_GRANT_THREADS));
     }
 
     #[test]

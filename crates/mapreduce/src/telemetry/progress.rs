@@ -242,4 +242,88 @@ mod tests {
         assert!(detect_stragglers(&loads, -0.1, 4).is_empty());
         assert!(detect_stragglers(&loads, 1.5, 4).is_empty());
     }
+
+    #[test]
+    fn exactly_at_cutoff_rate_is_not_flagged() {
+        // The comparison is strict (`rate < fraction * median`): a
+        // reducer sitting exactly on the cutoff is NOT a straggler.
+        // Median rate here is 1.0 (three reducers at 1000 pairs /
+        // 1000 ns); with fraction 0.25 the cutoff is 0.25, and key 3
+        // runs at exactly 0.25 pairs/ns.
+        let loads: Vec<(ReducerId, u64, u64)> = vec![
+            (0, 1000, 1_000),
+            (1, 1000, 1_000),
+            (2, 1000, 1_000),
+            (3, 1000, 4_000),
+        ];
+        assert!(
+            detect_stragglers(&loads, 0.25, 4).is_empty(),
+            "exactly-at-cutoff must not be flagged (strict comparison)"
+        );
+        // One nanosecond slower crosses the boundary.
+        let loads_below: Vec<(ReducerId, u64, u64)> = vec![
+            (0, 1000, 1_000),
+            (1, 1000, 1_000),
+            (2, 1000, 1_000),
+            (3, 1000, 4_001),
+        ];
+        let s = detect_stragglers(&loads_below, 0.25, 4);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].key, 3);
+    }
+
+    #[test]
+    fn exactly_at_median_rate_is_not_flagged() {
+        // A reducer at exactly the median rate sits at fraction 1.0's
+        // cutoff — still strict, still unflagged, even at the detector's
+        // most aggressive legal fraction.
+        let loads: Vec<(ReducerId, u64, u64)> = vec![
+            (0, 1000, 1_000),
+            (1, 1000, 1_000),
+            (2, 1000, 1_000),
+            (3, 1000, 1_000),
+        ];
+        assert!(
+            detect_stragglers(&loads, 1.0, 4).is_empty(),
+            "at fraction 1.0 every reducer equals the median — none flagged"
+        );
+    }
+
+    #[test]
+    fn single_reducer_never_self_compares() {
+        // Whatever min_reducers says, the `max(2)` floor keeps a lone
+        // reducer from being measured against its own median.
+        for min in [0usize, 1, 2, 8] {
+            assert!(
+                detect_stragglers(&[(7, 1000, 1_000_000)], 1.0, min).is_empty(),
+                "single reducer flagged at min_reducers {min}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_processed_heartbeat_rates_degrade_gracefully() {
+        // A reducer that processed nothing has rate 0 — below any
+        // positive cutoff, so it IS a straggler when its peers made
+        // progress…
+        let loads: Vec<(ReducerId, u64, u64)> = vec![
+            (0, 1000, 1_000),
+            (1, 1000, 1_000),
+            (2, 1000, 1_000),
+            (3, 0, 1_000),
+        ];
+        let s = detect_stragglers(&loads, 0.25, 4);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].key, 3);
+        assert_eq!(s[0].rate, 0.0);
+        // …but when *no* reducer processed anything the median is 0 and
+        // the detector stays silent instead of flagging everyone (or
+        // dividing by zero).
+        let idle: Vec<(ReducerId, u64, u64)> = (0..4).map(|k| (k, 0, 1_000)).collect();
+        assert!(detect_stragglers(&idle, 0.25, 4).is_empty());
+        // Zero pairs at zero nanoseconds (a heartbeat that never ticked)
+        // is the same: clamped denominator, rate 0, no NaN.
+        let idle_zero_ns: Vec<(ReducerId, u64, u64)> = (0..4).map(|k| (k, 0, 0)).collect();
+        assert!(detect_stragglers(&idle_zero_ns, 0.25, 4).is_empty());
+    }
 }

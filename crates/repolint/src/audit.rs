@@ -30,8 +30,8 @@ use ij_interval::AllenPredicate::{Before, Contains, Overlaps};
 use ij_interval::{Interval, Relation};
 use ij_mapreduce::metrics::names;
 use ij_mapreduce::{
-    is_execution_shape, ClusterConfig, CostModel, Dfs, Engine, Telemetry, TelemetryConfig,
-    VirtualClock,
+    is_execution_shape, ClusterConfig, CostModel, Dfs, Engine, SchedConfig, SchedPolicy, Telemetry,
+    TelemetryConfig, VirtualClock,
 };
 use ij_query::JoinQuery;
 use std::sync::Arc;
@@ -59,9 +59,41 @@ pub struct AuditCase {
     pub diverged: Vec<usize>,
     /// Which thread counts diverged under the pinned [`SPILL_BUDGET`].
     pub budget_diverged: Vec<usize>,
+    /// Which cross-policy legs diverged (scheduler grant policies must
+    /// never change output bytes; see [`crate::audit::SCHED_POLICIES`]).
+    pub policy_diverged: Vec<&'static str>,
     /// Buckets spilled under the pinned budget (single-thread run) — how
     /// hard the budgeted re-audit actually exercised the spill path.
     pub spilled_buckets: u64,
+}
+
+/// The grant policies every family is cross-checked under (the default
+/// skew-driven policy is the baseline's).
+pub const SCHED_POLICIES: [SchedPolicy; 3] = [
+    SchedPolicy::SkewDriven,
+    SchedPolicy::Uniform,
+    SchedPolicy::AllSerial,
+];
+
+/// The skew-scheduler audit leg: a deliberately skewed bucket mix run
+/// under every policy × thread count × budget, byte-diffed against the
+/// skew-driven single-thread baseline, with the scheduler's execution
+/// shape asserted on the heavy run (grants must actually exceed 1).
+#[derive(Debug, Default)]
+pub struct SchedAudit {
+    /// Whether every policy/thread/budget combination was byte-identical.
+    pub identical: bool,
+    /// The combinations that diverged, as `policy@threads[+budget]`.
+    pub diverged: Vec<String>,
+    /// Output tuple count of the baseline run.
+    pub output_count: u64,
+    /// `sched.heavy_buckets` of the skew-driven 8-thread run — the mix
+    /// must actually contain heavy buckets.
+    pub heavy_buckets: u64,
+    /// Largest per-bucket thread grant of the skew-driven 8-thread run
+    /// (from the `sched.grant_threads` histogram) — must exceed 1, i.e.
+    /// the heavy bucket really received a multi-thread grant.
+    pub max_grant: u64,
 }
 
 /// The full audit result.
@@ -69,12 +101,22 @@ pub struct AuditCase {
 pub struct AuditReport {
     /// One entry per algorithm family.
     pub cases: Vec<AuditCase>,
+    /// The dedicated skew-scheduler leg.
+    pub sched: Option<SchedAudit>,
 }
 
 impl AuditReport {
-    /// Whether every family was byte-identical across all thread counts.
+    /// Whether every family was byte-identical across all thread counts,
+    /// budgets and grant policies — including the dedicated sched leg,
+    /// which must additionally prove a real multi-thread grant landed on
+    /// the heavy bucket.
     pub fn deterministic(&self) -> bool {
-        !self.cases.is_empty() && self.cases.iter().all(|c| c.identical)
+        !self.cases.is_empty()
+            && self.cases.iter().all(|c| c.identical)
+            && self
+                .sched
+                .as_ref()
+                .is_some_and(|s| s.identical && s.heavy_buckets > 0 && s.max_grant > 1)
     }
 
     /// Human-readable summary, one line per family.
@@ -83,12 +125,12 @@ impl AuditReport {
         for c in &self.cases {
             let verdict = if c.identical {
                 format!("byte-identical ({} spilled buckets)", c.spilled_buckets)
-            } else if c.budget_diverged.is_empty() {
+            } else if c.budget_diverged.is_empty() && c.policy_diverged.is_empty() {
                 format!("DIVERGED at threads {:?}", c.diverged)
             } else {
                 format!(
-                    "DIVERGED at threads {:?}, budget {SPILL_BUDGET}B at {:?}",
-                    c.diverged, c.budget_diverged
+                    "DIVERGED at threads {:?}, budget {SPILL_BUDGET}B at {:?}, policies {:?}",
+                    c.diverged, c.budget_diverged, c.policy_diverged
                 )
             };
             out.push_str(&format!(
@@ -96,10 +138,24 @@ impl AuditReport {
                 c.algorithm, THREAD_COUNTS, verdict, c.output_count,
             ));
         }
+        if let Some(s) = &self.sched {
+            let verdict = if s.identical {
+                "byte-identical".to_string()
+            } else {
+                format!("DIVERGED at {:?}", s.diverged)
+            };
+            out.push_str(&format!(
+                "sched leg (skewed mix, policies {:?}): {verdict}, {} heavy buckets, max grant {} ({} output tuples)\n",
+                SCHED_POLICIES.map(|p| p.name()),
+                s.heavy_buckets,
+                s.max_grant,
+                s.output_count,
+            ));
+        }
         out.push_str(if self.deterministic() {
-            "audit: PASS — all families byte-identical across thread counts and budgets\n"
+            "audit: PASS — all families byte-identical across thread counts, budgets and grant policies\n"
         } else {
-            "audit: FAIL — nondeterministic output detected\n"
+            "audit: FAIL — nondeterministic output or inert skew scheduler detected\n"
         });
         out
     }
@@ -138,7 +194,30 @@ fn workload(q: &JoinQuery, seed: u64, n: usize) -> JoinInput {
     JoinInput::bind_owned(q, rels).expect("relation count matches query")
 }
 
-fn engine_with_threads(threads: usize, budget: Option<u64>) -> Engine {
+/// A deliberately skewed workload for the sched leg: 7/8 of the intervals
+/// crowd a hot region at the start of the time domain, so one reducer
+/// bucket dominates the reduce phase — the mix the skew-driven scheduler
+/// exists for (heavy bucket classified, multi-thread grant landed).
+fn skewed_workload(q: &JoinQuery, seed: u64, n: usize) -> JoinInput {
+    let mut rng = Lcg(seed);
+    let rels: Vec<Relation> = (0..q.num_relations())
+        .map(|r| {
+            Relation::from_intervals(
+                format!("R{r}"),
+                (0..n).map(|_| {
+                    let hot = !rng.next().is_multiple_of(8);
+                    let span = if hot { 40 } else { 400 };
+                    let s = (rng.next() % span) as i64;
+                    let len = (rng.next() % 50) as i64;
+                    Interval::new(s, s + len).expect("len >= 0")
+                }),
+            )
+        })
+        .collect();
+    JoinInput::bind_owned(q, rels).expect("relation count matches query")
+}
+
+fn engine_with_threads(threads: usize, budget: Option<u64>, policy: SchedPolicy) -> Engine {
     Engine::new(ClusterConfig {
         reducer_slots: 4,
         worker_threads: threads,
@@ -147,8 +226,26 @@ fn engine_with_threads(threads: usize, budget: Option<u64>) -> Engine {
         // engage — the audit must cover the chunked execution path.
         heavy_bucket_threshold: 64,
         reduce_memory_budget: budget,
+        sched: SchedConfig::with_policy(policy),
         cost: CostModel::default(),
     })
+}
+
+/// A satisfiable colocation *clique* — every pair directly conditioned,
+/// so reducers route to the event-list sweep (the `[Overlaps, Overlaps]`
+/// chain does not qualify and stays on the dual-window sweep; both
+/// colocation kernel paths are audited). Shared by the suite and the
+/// sched leg.
+fn clique_query() -> JoinQuery {
+    JoinQuery::new(
+        3,
+        vec![
+            ij_query::Condition::whole(0, Overlaps, 1),
+            ij_query::Condition::whole(1, Contains, 2),
+            ij_query::Condition::whole(0, Overlaps, 2),
+        ],
+    )
+    .expect("colocation clique")
 }
 
 /// The audited suite: every algorithm family with a query class it
@@ -159,19 +256,7 @@ fn suite() -> Vec<(Box<dyn Algorithm>, JoinQuery)> {
     let hybrid = JoinQuery::chain(&[Overlaps, Before]).expect("hybrid chain");
     let seq = JoinQuery::chain(&[Before, Before]).expect("sequence chain");
     let pair = JoinQuery::chain(&[Overlaps]).expect("two-way chain");
-    // A satisfiable colocation *clique* — every pair directly conditioned,
-    // so reducers route to the event-list sweep (the `[Overlaps, Overlaps]`
-    // chain above does not qualify and stays on the dual-window sweep;
-    // both colocation kernel paths are audited).
-    let clique = JoinQuery::new(
-        3,
-        vec![
-            ij_query::Condition::whole(0, Overlaps, 1),
-            ij_query::Condition::whole(1, Contains, 2),
-            ij_query::Condition::whole(0, Overlaps, 2),
-        ],
-    )
-    .expect("colocation clique");
+    let clique = clique_query();
     vec![
         (Box::new(Rccis::new(6)) as Box<dyn Algorithm>, colo.clone()),
         (Box::new(AllReplicate::new(4)), colo.clone()),
@@ -188,16 +273,32 @@ fn suite() -> Vec<(Box<dyn Algorithm>, JoinQuery)> {
     ]
 }
 
-/// One run's byte snapshot: output tuples in emission order plus the
-/// chain's merged user counters, written through and read back from a
-/// fresh [`Dfs`]. Also returns the run's `spill.buckets` total.
+/// One run's observations: the byte snapshot that joins the determinism
+/// diff, plus the execution-shape signals (spill and scheduler counters)
+/// the audit asserts on separately.
+struct Snapshot {
+    /// Output tuples, data-plane counters and data-plane telemetry,
+    /// written through and read back from a fresh [`Dfs`].
+    bytes: Vec<u8>,
+    /// Output tuple count.
+    count: u64,
+    /// The run's `spill.buckets` total.
+    spilled_buckets: u64,
+    /// The run's `sched.heavy_buckets` total.
+    heavy_buckets: u64,
+    /// Largest per-bucket thread grant (`sched.grant_threads` histogram).
+    max_grant: u64,
+}
+
+/// Runs one policy/thread/budget combination and captures a [`Snapshot`].
 fn snapshot(
     algo: &dyn Algorithm,
     q: &JoinQuery,
     input: &JoinInput,
     threads: usize,
     budget: Option<u64>,
-) -> Result<(Vec<u8>, u64, u64), String> {
+    policy: SchedPolicy,
+) -> Result<Snapshot, String> {
     // A virtual clock keeps telemetry timestamps at zero, and a small
     // heartbeat quantum makes reduce-side heartbeats actually fire at
     // audit scale — the data-plane telemetry snapshot joins the byte-diff
@@ -210,7 +311,8 @@ fn snapshot(
         },
         Arc::new(VirtualClock::new()),
     ));
-    let engine = engine_with_threads(threads, budget).with_telemetry(Arc::clone(&telemetry));
+    let engine =
+        engine_with_threads(threads, budget, policy).with_telemetry(Arc::clone(&telemetry));
     let out = algo
         .run(q, input, &engine)
         .map_err(|e| format!("{} failed under {threads} threads: {e}", algo.name()))?;
@@ -233,7 +335,8 @@ fn snapshot(
         }
         lines.push(format!("counter {k}={v}"));
     }
-    for line in telemetry.snapshot().data_plane().to_prometheus().lines() {
+    let tel_snapshot = telemetry.snapshot();
+    for line in tel_snapshot.data_plane().to_prometheus().lines() {
         lines.push(format!("telemetry {line}"));
     }
     let dfs = Dfs::new();
@@ -243,11 +346,17 @@ fn snapshot(
     let stored = dfs
         .read::<String>(&path)
         .map_err(|e| format!("dfs read failed: {e}"))?;
-    Ok((
-        stored.join("\n").into_bytes(),
-        out.count,
-        counters.get(names::SPILL_BUCKETS),
-    ))
+    Ok(Snapshot {
+        bytes: stored.join("\n").into_bytes(),
+        count: out.count,
+        spilled_buckets: counters.get(names::SPILL_BUCKETS),
+        heavy_buckets: counters.get(names::SCHED_HEAVY_BUCKETS),
+        max_grant: tel_snapshot
+            .histograms
+            .get(names::SCHED_GRANT_THREADS)
+            .and_then(|h| h.max())
+            .unwrap_or(0),
+    })
 }
 
 /// Runs the audit. `scale` is the per-relation interval count (the CLI
@@ -256,41 +365,122 @@ fn snapshot(
 ///
 /// Each family is audited twice per thread count: with an unlimited
 /// reduce-memory budget (the in-memory merge path) and with the pinned
-/// [`SPILL_BUDGET`] (the spill-to-Dfs path). Every run must byte-match
-/// the single-thread unlimited baseline.
+/// [`SPILL_BUDGET`] (the spill-to-Dfs path), plus two cross-policy legs
+/// at the highest thread count (alternate grant policies, where grants
+/// differ most from the default). Every run must byte-match the
+/// single-thread unlimited baseline. A dedicated skewed-mix sched leg
+/// (see [`SchedAudit`]) then covers the full policy × thread × budget
+/// matrix and asserts the skew-driven scheduler actually landed a
+/// multi-thread grant on a heavy bucket.
 pub fn run_audit(scale: usize) -> Result<AuditReport, String> {
     let mut report = AuditReport::default();
+    let top_threads = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
     for (algo, q) in suite() {
         let input = workload(&q, 0x5eed + q.num_relations() as u64, scale);
-        let (base, count, _) = snapshot(algo.as_ref(), &q, &input, THREAD_COUNTS[0], None)?;
+        let base = snapshot(
+            algo.as_ref(),
+            &q,
+            &input,
+            THREAD_COUNTS[0],
+            None,
+            SchedPolicy::SkewDriven,
+        )?;
         let mut diverged = Vec::new();
         for &t in &THREAD_COUNTS[1..] {
-            let (bytes, _, _) = snapshot(algo.as_ref(), &q, &input, t, None)?;
-            if bytes != base {
+            let s = snapshot(algo.as_ref(), &q, &input, t, None, SchedPolicy::SkewDriven)?;
+            if s.bytes != base.bytes {
                 diverged.push(t);
             }
         }
         let mut budget_diverged = Vec::new();
         let mut spilled_buckets = 0;
         for (i, &t) in THREAD_COUNTS.iter().enumerate() {
-            let (bytes, _, spilled) = snapshot(algo.as_ref(), &q, &input, t, Some(SPILL_BUDGET))?;
+            let s = snapshot(
+                algo.as_ref(),
+                &q,
+                &input,
+                t,
+                Some(SPILL_BUDGET),
+                SchedPolicy::SkewDriven,
+            )?;
             if i == 0 {
-                spilled_buckets = spilled;
+                spilled_buckets = s.spilled_buckets;
             }
-            if bytes != base {
+            if s.bytes != base.bytes {
                 budget_diverged.push(t);
+            }
+        }
+        let mut policy_diverged = Vec::new();
+        for (policy, budget) in [
+            (SchedPolicy::Uniform, None),
+            (SchedPolicy::AllSerial, Some(SPILL_BUDGET)),
+        ] {
+            let s = snapshot(algo.as_ref(), &q, &input, top_threads, budget, policy)?;
+            if s.bytes != base.bytes {
+                policy_diverged.push(policy.name());
             }
         }
         report.cases.push(AuditCase {
             algorithm: algo.name(),
-            identical: diverged.is_empty() && budget_diverged.is_empty(),
-            output_count: count,
+            identical: diverged.is_empty()
+                && budget_diverged.is_empty()
+                && policy_diverged.is_empty(),
+            output_count: base.count,
             diverged,
             budget_diverged,
+            policy_diverged,
             spilled_buckets,
         });
     }
+    report.sched = Some(run_sched_audit(scale)?);
     Ok(report)
+}
+
+/// The dedicated skew-scheduler leg: All-Replicate on the colocation
+/// clique over the hot-region [`skewed_workload`], run under the full
+/// [`SCHED_POLICIES`] × [`THREAD_COUNTS`] × {unbudgeted,
+/// [`SPILL_BUDGET`]} matrix and byte-diffed against the skew-driven
+/// single-thread unbudgeted baseline. The skew-driven top-thread run also
+/// reports the scheduler's execution shape (heavy buckets, max grant) so
+/// the audit can prove the heavy bucket really ran multi-threaded.
+fn run_sched_audit(scale: usize) -> Result<SchedAudit, String> {
+    let q = clique_query();
+    let algo = AllReplicate::new(4);
+    let input = skewed_workload(&q, 0x5ca1ed, scale);
+    let top_threads = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
+    let base = snapshot(
+        &algo,
+        &q,
+        &input,
+        THREAD_COUNTS[0],
+        None,
+        SchedPolicy::SkewDriven,
+    )?;
+    let mut sched = SchedAudit {
+        identical: true,
+        output_count: base.count,
+        ..SchedAudit::default()
+    };
+    for &policy in &SCHED_POLICIES {
+        for &t in &THREAD_COUNTS {
+            for budget in [None, Some(SPILL_BUDGET)] {
+                let s = snapshot(&algo, &q, &input, t, budget, policy)?;
+                if s.bytes != base.bytes {
+                    let leg = match budget {
+                        None => format!("{}@{t}", policy.name()),
+                        Some(b) => format!("{}@{t}+{b}B", policy.name()),
+                    };
+                    sched.diverged.push(leg);
+                }
+                if policy == SchedPolicy::SkewDriven && t == top_threads && budget.is_none() {
+                    sched.heavy_buckets = s.heavy_buckets;
+                    sched.max_grant = s.max_grant;
+                }
+            }
+        }
+    }
+    sched.identical = sched.diverged.is_empty();
+    Ok(sched)
 }
 
 #[cfg(test)]
@@ -314,8 +504,9 @@ mod tests {
     fn audit_snapshots_embed_data_plane_telemetry() {
         let (algo, q) = suite().remove(0);
         let input = workload(&q, 0x5eed + q.num_relations() as u64, 40);
-        let (bytes, _, _) = snapshot(algo.as_ref(), &q, &input, 1, None).expect("snapshot");
-        let text = String::from_utf8(bytes).expect("utf8");
+        let s = snapshot(algo.as_ref(), &q, &input, 1, None, SchedPolicy::SkewDriven)
+            .expect("snapshot");
+        let text = String::from_utf8(s.bytes).expect("utf8");
         assert!(
             text.contains("telemetry # TYPE ij_progress_jobs_started gauge"),
             "telemetry lines missing from audit snapshot"
@@ -334,6 +525,10 @@ mod tests {
         assert!(!text.contains("ij_telemetry_stragglers"));
         assert!(!text.contains("ij_reduce_service_ns"));
         assert!(!text.contains("ij_spill_run_bytes"));
+        // The grant histogram varies with the sched policy — it must stay
+        // out of the diff, or every cross-policy leg would diverge.
+        assert!(!text.contains("ij_sched_grant_threads"));
+        assert!(!text.contains("counter sched."));
     }
 
     #[test]
@@ -344,8 +539,9 @@ mod tests {
         let (algo, q) = suite().remove(2);
         assert_eq!(q.conditions().len(), 3, "clique has all three pairs");
         let input = workload(&q, 0x5eed + q.num_relations() as u64, 40);
-        let (bytes, _, _) = snapshot(algo.as_ref(), &q, &input, 1, None).expect("snapshot");
-        let text = String::from_utf8(bytes).expect("utf8");
+        let s = snapshot(algo.as_ref(), &q, &input, 1, None, SchedPolicy::SkewDriven)
+            .expect("snapshot");
+        let text = String::from_utf8(s.bytes).expect("utf8");
         let buckets = text
             .lines()
             .find_map(|l| {
@@ -372,6 +568,26 @@ mod tests {
             report.cases.iter().any(|c| c.spilled_buckets > 0),
             "pinned budget of {SPILL_BUDGET}B spilled nothing — budget too generous\n{}",
             report.render()
+        );
+    }
+
+    #[test]
+    fn sched_leg_is_identical_and_grants_exceed_one() {
+        let sched = run_sched_audit(40).expect("sched leg runs");
+        assert!(
+            sched.identical,
+            "grant policies changed output bytes: {:?}",
+            sched.diverged
+        );
+        assert!(sched.output_count > 0, "skewed mix produced no output");
+        assert!(
+            sched.heavy_buckets > 0,
+            "skewed mix classified no bucket heavy — hot region too sparse"
+        );
+        assert!(
+            sched.max_grant > 1,
+            "heavy bucket never received a multi-thread grant (max {})",
+            sched.max_grant
         );
     }
 }
